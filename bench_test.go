@@ -1,0 +1,269 @@
+package parvqmc
+
+// One benchmark per table and figure of the paper's evaluation section,
+// exercising the code path that regenerates it (see DESIGN.md's index and
+// cmd/experiments for the full-scale runners). Benchmarks use reduced
+// problem sizes so `go test -bench=.` completes in minutes on a laptop; the
+// comparisons (MADE+AUTO vs RBM+MCMC per-iteration cost, scaling curves)
+// preserve the paper's shape.
+
+import (
+	"io"
+	"testing"
+
+	"github.com/vqmc-scale/parvqmc/internal/cluster"
+	"github.com/vqmc-scale/parvqmc/internal/core"
+	"github.com/vqmc-scale/parvqmc/internal/device"
+	"github.com/vqmc-scale/parvqmc/internal/dist"
+	"github.com/vqmc-scale/parvqmc/internal/experiments"
+	"github.com/vqmc-scale/parvqmc/internal/hamiltonian"
+	"github.com/vqmc-scale/parvqmc/internal/nn"
+	"github.com/vqmc-scale/parvqmc/internal/optimizer"
+	"github.com/vqmc-scale/parvqmc/internal/rng"
+	"github.com/vqmc-scale/parvqmc/internal/sampler"
+)
+
+// --- Table 1: training-time comparison, one iteration per op ---
+
+func benchIterTIM(b *testing.B, model string) {
+	b.Helper()
+	const n = 50
+	r := rng.New(1)
+	tim := hamiltonian.RandomTIM(n, r)
+	var tr *core.Trainer
+	if model == "made" {
+		m := nn.NewMADE(n, device.HiddenMADE(n), r.Split())
+		smp := sampler.NewAutoMADE(m, true, 0, r.Split())
+		tr = core.New(tim, m, smp, optimizer.NewAdam(0.01), core.Config{BatchSize: 128})
+	} else {
+		m := nn.NewRBM(n, n, r.Split())
+		smp := sampler.NewMCMC(m, sampler.MCMCConfig{}, r.Split())
+		tr = core.New(tim, m, smp, optimizer.NewAdam(0.01), core.Config{BatchSize: 128})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Step()
+	}
+}
+
+// BenchmarkTable1MADEAutoIteration measures one MADE&AUTO VQMC iteration on
+// TIM n=50 — the fast row of Table 1.
+func BenchmarkTable1MADEAutoIteration(b *testing.B) { benchIterTIM(b, "made") }
+
+// BenchmarkTable1RBMMCMCIteration measures one RBM&MCMC iteration with the
+// paper's burn-in k=3n+100 — the slow row of Table 1.
+func BenchmarkTable1RBMMCMCIteration(b *testing.B) { benchIterTIM(b, "rbm") }
+
+// --- Figure 2: training-curve generation ---
+
+// BenchmarkFigure2TrainingCurve measures a short MADE&AUTO training run
+// with per-iteration statistics recording, the workload behind Figure 2.
+func BenchmarkFigure2TrainingCurve(b *testing.B) {
+	p := TIM(16, 1)
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(p, Options{
+			Hidden: 24, BatchSize: 64, Iterations: 20, EvalBatch: 64,
+			Seed: uint64(i + 1),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 2: converged objective values ---
+
+// BenchmarkTable2MaxCutMADE measures a full small Max-Cut training run with
+// the paper's default MADE&AUTO&Adam configuration.
+func BenchmarkTable2MaxCutMADE(b *testing.B) {
+	p := MaxCut(20, 2)
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(p, Options{
+			BatchSize: 128, Iterations: 50, EvalBatch: 128, Seed: uint64(i + 1),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2ClassicalGW measures the Goemans-Williamson baseline.
+func BenchmarkTable2ClassicalGW(b *testing.B) {
+	g := MaxCut(50, 3)
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveMaxCutClassical(g, "gw", uint64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2ClassicalBM measures the Burer-Monteiro + RTR baseline.
+func BenchmarkTable2ClassicalBM(b *testing.B) {
+	g := MaxCut(50, 4)
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveMaxCutClassical(g, "bm", uint64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2SRStep measures a stochastic-reconfiguration step (the
+// SGD+SR rows), dominated by the matrix-free CG Fisher solve.
+func BenchmarkTable2SRStep(b *testing.B) {
+	const n = 30
+	r := rng.New(5)
+	tim := hamiltonian.RandomTIM(n, r)
+	m := nn.NewMADE(n, 20, r.Split())
+	smp := sampler.NewAutoMADE(m, true, 0, r.Split())
+	tr := core.New(tim, m, smp, optimizer.NewSGD(0.1),
+		core.Config{BatchSize: 64, SR: optimizer.NewSR(1e-3)})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Step()
+	}
+}
+
+// --- Figure 3 / Table 7: weak-scaling model ---
+
+// BenchmarkFigure3WeakScalingSweep evaluates the full modeled weak-scaling
+// sweep (4 dimensions x 9 GPU configurations).
+func BenchmarkFigure3WeakScalingSweep(b *testing.B) {
+	cfgs := cluster.PaperConfigs()
+	for i := 0; i < b.N; i++ {
+		for _, n := range []int{1000, 2000, 5000, 10000} {
+			mbs := device.V100().MaxBatchTIM(n)
+			pts := cluster.WeakScaling(cfgs, n, mbs, 300)
+			if len(pts) != len(cfgs) {
+				b.Fatal("sweep incomplete")
+			}
+		}
+	}
+}
+
+// BenchmarkTable7MemoryLadder evaluates the memory-saturating batch solver
+// across all paper dimensions.
+func BenchmarkTable7MemoryLadder(b *testing.B) {
+	dev := device.V100()
+	dims := []int{20, 50, 100, 200, 500, 1000, 2000, 5000, 10000}
+	for i := 0; i < b.N; i++ {
+		for _, n := range dims {
+			if dev.MaxBatchTIM(n) < 1 {
+				b.Fatal("ladder broke")
+			}
+		}
+	}
+}
+
+// --- Figure 4 / Table 6: distributed training ---
+
+// BenchmarkFigure4DistributedStep measures one synchronous data-parallel
+// iteration with 4 goroutine devices and ring all-reduce (mbs=4, the
+// Figure 4 protocol).
+func BenchmarkFigure4DistributedStep(b *testing.B) {
+	const n, L = 20, 4
+	tim := hamiltonian.RandomTIM(n, rng.New(1))
+	streams := rng.New(2).SplitN(L)
+	reps := make([]dist.Replica, L)
+	for r := 0; r < L; r++ {
+		m := nn.NewMADE(n, 45, rng.New(99))
+		reps[r] = dist.Replica{
+			Model: m,
+			Smp:   sampler.NewAutoMADE(m, true, 1, streams[r]),
+			Opt:   optimizer.NewAdam(0.01),
+		}
+	}
+	tr, err := dist.New(tim, reps, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Step(i)
+	}
+}
+
+// BenchmarkTable6ModeledTimes evaluates the modeled time table across all
+// configurations and dimensions.
+func BenchmarkTable6ModeledTimes(b *testing.B) {
+	dims := []int{20, 100, 1000, 10000}
+	for i := 0; i < b.N; i++ {
+		for _, c := range cluster.PaperConfigs() {
+			topo := cluster.Default(c[0], c[1])
+			for _, n := range dims {
+				_ = topo.TrainingTime(n, device.HiddenMADE(n), 4, n, 300)
+			}
+		}
+	}
+}
+
+// --- Table 3: latent-size ablation ---
+
+// BenchmarkTable3LatentSmall measures training with the small latent
+// (ln n)^2 against BenchmarkTable3LatentLarge's 5n, the endpoints of the
+// Table 3 sweep.
+func BenchmarkTable3LatentSmall(b *testing.B) { benchLatent(b, 9) }   // (ln 20)^2 ~ 9
+func BenchmarkTable3LatentLarge(b *testing.B) { benchLatent(b, 100) } // 5n at n=20
+
+func benchLatent(b *testing.B, h int) {
+	b.Helper()
+	p := MaxCut(20, 6)
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(p, Options{
+			Hidden: h, BatchSize: 64, Iterations: 20, EvalBatch: 64, Seed: uint64(i + 1),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 4: MCMC sampling schemes ---
+
+// BenchmarkTable4BurnInShort and ...Long measure one MCMC batch under
+// Scheme 1's burn-in extremes (k=n vs k=10n).
+func BenchmarkTable4BurnInShort(b *testing.B) { benchMCMCScheme(b, 50, 1) }
+func BenchmarkTable4BurnInLong(b *testing.B)  { benchMCMCScheme(b, 500, 1) }
+
+// BenchmarkTable4Thinning10 measures Scheme 2's x10 thinning.
+func BenchmarkTable4Thinning10(b *testing.B) { benchMCMCScheme(b, -1, 10) }
+
+func benchMCMCScheme(b *testing.B, burnIn, thin int) {
+	b.Helper()
+	const n = 50
+	r := rng.New(7)
+	m := nn.NewRBM(n, n, r.Split())
+	mc := sampler.NewMCMC(m, sampler.MCMCConfig{Chains: 2, BurnIn: burnIn, Thin: thin}, r.Split())
+	batch := sampler.NewBatch(128, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mc.Sample(batch)
+	}
+}
+
+// --- Table 5: hitting time ---
+
+// BenchmarkTable5HittingTime measures a TrainUntil run to an easy target.
+func BenchmarkTable5HittingTime(b *testing.B) {
+	p := MaxCut(16, 8)
+	mcH := p.ham.(*hamiltonian.MaxCut)
+	target := 0.52 * p.TotalEdgeWeight()
+	for i := 0; i < b.N; i++ {
+		r := rng.New(uint64(i + 1))
+		m := nn.NewMADE(16, 16, r.Split())
+		smp := sampler.NewAutoMADE(m, true, 0, r.Split())
+		tr := core.New(mcH, m, smp, optimizer.NewAdam(0.05), core.Config{BatchSize: 64})
+		tr.TrainUntil(target, mcH.CutFromEnergy, 200, 128)
+	}
+}
+
+// --- full experiment smoke benchmarks ---
+
+// BenchmarkExperimentHarness runs the complete smoke-scale experiment suite
+// (all 10 artifacts), the end-to-end cost of regenerating the paper.
+func BenchmarkExperimentHarness(b *testing.B) {
+	p := experiments.SmokePreset()
+	for i := 0; i < b.N; i++ {
+		for _, e := range experiments.All() {
+			if err := experiments.Run(e.ID, p, io.Discard, ""); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

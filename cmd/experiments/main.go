@@ -1,0 +1,59 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+//	experiments -list
+//	experiments -id table1
+//	experiments -id all -preset ci -csv out/
+//
+// Presets: "ci" (default; minutes on a laptop), "paper" (the paper's full
+// parameters; days without the original GPU cluster), "smoke" (seconds).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/vqmc-scale/parvqmc/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		id     = flag.String("id", "", "experiment id (or 'all')")
+		preset = flag.String("preset", "ci", "scale preset: paper, ci or smoke")
+		csvDir = flag.String("csv", "results", "directory for CSV artifacts ('' = skip)")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list || *id == "" {
+		fmt.Println("available experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		if *id == "" {
+			fmt.Println("\nrun with -id <id> or -id all")
+		}
+		return
+	}
+
+	p, err := experiments.PresetByName(*preset)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *id == "all" {
+		for _, e := range experiments.All() {
+			if err := experiments.Run(e.ID, p, os.Stdout, *csvDir); err != nil {
+				log.Fatalf("%s: %v", e.ID, err)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	if err := experiments.Run(*id, p, os.Stdout, *csvDir); err != nil {
+		log.Fatal(err)
+	}
+}

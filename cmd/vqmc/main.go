@@ -1,0 +1,114 @@
+// Command vqmc trains a neural wavefunction on a TIM or Max-Cut instance
+// and reports the converged energy (and cut, for Max-Cut).
+//
+// Examples:
+//
+//	vqmc -problem tim -n 16 -iters 300 -batch 512
+//	vqmc -problem maxcut -n 50 -model rbm -optimizer sgd -sr
+//	vqmc -problem tim -n 12 -exact            # compare against Lanczos
+//	vqmc -problem tim -n 20 -devices 4 -mbs 4 # data-parallel training
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/vqmc-scale/parvqmc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vqmc: ")
+
+	var (
+		problem = flag.String("problem", "tim", "problem kind: tim or maxcut")
+		n       = flag.Int("n", 16, "number of sites (matrix dimension is 2^n)")
+		seed    = flag.Uint64("seed", 1, "root random seed")
+		model   = flag.String("model", "made", "wavefunction: made or rbm")
+		smp     = flag.String("sampler", "", "sampler: auto, auto-naive or mcmc (default by model)")
+		opt     = flag.String("optimizer", "adam", "optimizer: adam or sgd")
+		lr      = flag.Float64("lr", 0, "learning rate (0 = optimizer default)")
+		sr      = flag.Bool("sr", false, "enable stochastic reconfiguration (natural gradient)")
+		hidden  = flag.Int("hidden", 0, "latent size (0 = paper rule)")
+		batch   = flag.Int("batch", 1024, "training batch size")
+		iters   = flag.Int("iters", 300, "training iterations")
+		evalB   = flag.Int("eval-batch", 1024, "evaluation batch size")
+		burnIn  = flag.Int("mcmc-burnin", 0, "MCMC burn-in (0 = 3n+100)")
+		thin    = flag.Int("mcmc-thin", 0, "MCMC thinning (0 = none)")
+		chains  = flag.Int("mcmc-chains", 0, "MCMC chains (0 = 2)")
+		devices = flag.Int("devices", 1, "data-parallel device count (made only)")
+		mbs     = flag.Int("mbs", 0, "per-device mini-batch for -devices > 1")
+		doExact = flag.Bool("exact", false, "also compute the exact ground energy (small n)")
+		curve   = flag.Bool("curve", false, "print the per-iteration training curve")
+		save    = flag.String("save", "", "write the trained model checkpoint to this path")
+	)
+	flag.Parse()
+
+	var p *parvqmc.Problem
+	switch *problem {
+	case "tim":
+		p = parvqmc.TIM(*n, *seed)
+	case "maxcut":
+		p = parvqmc.MaxCut(*n, *seed)
+	default:
+		log.Fatalf("unknown problem %q (want tim or maxcut)", *problem)
+	}
+
+	o := parvqmc.Options{
+		Model: *model, Sampler: *smp, Optimizer: *opt, LearningRate: *lr,
+		StochasticReconfig: *sr, Hidden: *hidden, BatchSize: *batch,
+		Iterations: *iters, EvalBatch: *evalB, Seed: *seed,
+		MCMCBurnIn: *burnIn, MCMCThin: *thin, MCMCChains: *chains,
+	}
+
+	var res *parvqmc.Result
+	var err error
+	if *devices > 1 {
+		m := *mbs
+		if m <= 0 {
+			m = 4
+		}
+		res, err = parvqmc.TrainDistributed(p, o, *devices, m)
+	} else {
+		res, err = parvqmc.Train(p, o)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("problem      %s n=%d (dimension 2^%d)\n", p.Kind(), p.Sites(), p.Sites())
+	fmt.Printf("train time   %v\n", res.TrainTime.Round(1e6))
+	fmt.Printf("energy       %.6f +- %.6f (eval batch %d)\n", res.Energy, res.Std, *evalB)
+	if cut, ok := p.CutOf(res.Energy); ok {
+		fmt.Printf("cut          %.2f of total weight %.0f\n", cut, p.TotalEdgeWeight())
+	}
+	if *doExact {
+		e, err := p.ExactGroundEnergy()
+		if err != nil {
+			log.Fatalf("exact diagonalization: %v", err)
+		}
+		fmt.Printf("exact energy %.6f (relative gap %.4f)\n", e, (res.Energy-e)/abs(e))
+	}
+	if *curve {
+		fmt.Println("iter,energy,std")
+		for _, s := range res.Curve {
+			fmt.Printf("%d,%.6f,%.6f\n", s.Iteration, s.Energy, s.Std)
+		}
+	}
+	if *save != "" {
+		if err := res.SaveModel(*save); err != nil {
+			log.Fatalf("saving model: %v", err)
+		}
+		fmt.Printf("model saved  %s\n", *save)
+	}
+	os.Exit(0)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,48 @@
+// Quickstart: solve a 16-site transverse-field Ising ground-state problem
+// (a 65,536-dimensional eigenproblem) with the paper's default pipeline —
+// MADE wavefunction, exact autoregressive sampling, Adam — and validate
+// against exact Lanczos diagonalization.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/vqmc-scale/parvqmc"
+)
+
+func main() {
+	const n = 16
+
+	problem := parvqmc.TIM(n, 7)
+	fmt.Printf("TIM instance with %d sites: matrix dimension 2^%d = %d\n",
+		n, n, 1<<n)
+
+	result, err := parvqmc.Train(problem, parvqmc.Options{
+		BatchSize:  512,
+		Iterations: 300,
+		EvalBatch:  1024,
+		Seed:       42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("VQMC energy:  %.6f +- %.6f  (trained in %v)\n",
+		result.Energy, result.Std, result.TrainTime.Round(1e6))
+
+	exact, err := problem.ExactGroundEnergy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Exact energy: %.6f  (Lanczos over the full 2^%d space)\n", exact, n)
+	fmt.Printf("Relative gap: %.4f%%\n", 100*(result.Energy-exact)/(-exact))
+
+	// The std-dev of the local energy vanishes at an exact eigenstate
+	// (Eq. 4 of the paper) — watch it shrink across training.
+	first, last := result.Curve[0], result.Curve[len(result.Curve)-1]
+	fmt.Printf("Std-dev of the stochastic objective: %.3f (iter 1) -> %.3f (iter %d)\n",
+		first.Std, last.Std, last.Iteration)
+}

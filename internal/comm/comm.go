@@ -1,0 +1,237 @@
+// Package comm provides the collective-communication layer for data-parallel
+// VQMC: a group of in-process "ranks" connected by channels, with a real
+// chunked ring all-reduce (reduce-scatter + all-gather), broadcast and
+// barrier. It stands in for NCCL/MPI in the paper's multi-GPU setup — the
+// algorithms are the real ones; only the transport is in-memory.
+//
+// The package also exposes the standard alpha-beta cost model used to
+// predict collective latency on modeled cluster links (see package cluster).
+package comm
+
+import (
+	"fmt"
+	"time"
+)
+
+// Group is a set of ranks that can perform collectives. Create it once,
+// hand Rank endpoints to goroutines.
+type Group struct {
+	size  int
+	right []chan []float64 // right[r]: messages flowing r -> (r+1)%size
+	bcast []chan []float64 // per-rank broadcast mailboxes
+}
+
+// NewGroup creates a communicator group of the given size.
+func NewGroup(size int) *Group {
+	if size < 1 {
+		panic("comm: group size must be >= 1")
+	}
+	g := &Group{size: size}
+	g.right = make([]chan []float64, size)
+	g.bcast = make([]chan []float64, size)
+	for i := range g.right {
+		g.right[i] = make(chan []float64, 1)
+		g.bcast[i] = make(chan []float64, 1)
+	}
+	return g
+}
+
+// Size returns the number of ranks.
+func (g *Group) Size() int { return g.size }
+
+// Rank returns the endpoint for rank r.
+func (g *Group) Rank(r int) *Comm {
+	if r < 0 || r >= g.size {
+		panic(fmt.Sprintf("comm: rank %d out of range [0,%d)", r, g.size))
+	}
+	return &Comm{g: g, rank: r}
+}
+
+// Comm is one rank's endpoint. Methods must be called collectively: every
+// rank of the group calls the same method with compatible arguments.
+type Comm struct {
+	g    *Group
+	rank int
+	// traffic accounting
+	bytesSent int64
+	messages  int64
+}
+
+// Rank returns this endpoint's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the group size.
+func (c *Comm) Size() int { return c.g.size }
+
+// BytesSent reports cumulative payload bytes sent by this rank.
+func (c *Comm) BytesSent() int64 { return c.bytesSent }
+
+// Messages reports cumulative messages sent by this rank.
+func (c *Comm) Messages() int64 { return c.messages }
+
+func (c *Comm) sendRight(data []float64) {
+	c.bytesSent += int64(len(data)) * 8
+	c.messages++
+	c.g.right[c.rank] <- data
+}
+
+func (c *Comm) recvLeft() []float64 {
+	left := (c.rank - 1 + c.g.size) % c.g.size
+	return <-c.g.right[left]
+}
+
+// chunkBounds splits [0,n) into p contiguous chunks.
+func chunkBounds(n, p, i int) (lo, hi int) {
+	return i * n / p, (i + 1) * n / p
+}
+
+// AllReduceSum sums x elementwise across all ranks, leaving the result in
+// every rank's x. It is the chunked ring algorithm: p-1 reduce-scatter steps
+// followed by p-1 all-gather steps, moving 2(p-1)/p of the vector per rank.
+func (c *Comm) AllReduceSum(x []float64) {
+	p := c.g.size
+	if p == 1 {
+		return
+	}
+	n := len(x)
+	// Reduce-scatter: after step s, the chunk (rank-s-1) accumulated one
+	// more contribution; after p-1 steps rank r owns the fully reduced
+	// chunk (r+1) mod p.
+	for s := 0; s < p-1; s++ {
+		sendIdx := (c.rank - s + p) % p
+		recvIdx := (c.rank - s - 1 + p) % p
+		lo, hi := chunkBounds(n, p, sendIdx)
+		out := make([]float64, hi-lo)
+		copy(out, x[lo:hi])
+		c.sendRight(out)
+		in := c.recvLeft()
+		lo, hi = chunkBounds(n, p, recvIdx)
+		for i := range in {
+			x[lo+i] += in[i]
+		}
+	}
+	// All-gather: circulate the reduced chunks.
+	for s := 0; s < p-1; s++ {
+		sendIdx := (c.rank + 1 - s + p) % p
+		recvIdx := (c.rank - s + p) % p
+		lo, hi := chunkBounds(n, p, sendIdx)
+		out := make([]float64, hi-lo)
+		copy(out, x[lo:hi])
+		c.sendRight(out)
+		in := c.recvLeft()
+		lo, hi = chunkBounds(n, p, recvIdx)
+		copy(x[lo:hi], in)
+	}
+}
+
+// NaiveAllReduceSum is the gather-to-root-then-broadcast alternative kept
+// for the ablation benchmark: it moves (p-1)*n to the root link instead of
+// spreading traffic around the ring.
+func (c *Comm) NaiveAllReduceSum(x []float64) {
+	p := c.g.size
+	if p == 1 {
+		return
+	}
+	if c.rank == 0 {
+		for r := 1; r < p; r++ {
+			in := <-c.g.bcast[0]
+			for i := range in {
+				x[i] += in[i]
+			}
+		}
+		for r := 1; r < p; r++ {
+			out := make([]float64, len(x))
+			copy(out, x)
+			c.bytesSent += int64(len(x)) * 8
+			c.messages++
+			c.g.bcast[r] <- out
+		}
+		return
+	}
+	out := make([]float64, len(x))
+	copy(out, x)
+	c.bytesSent += int64(len(x)) * 8
+	c.messages++
+	c.g.bcast[0] <- out
+	in := <-c.g.bcast[c.rank]
+	copy(x, in)
+}
+
+// Broadcast copies root's x into every rank's x by passing it around the
+// ring (p-1 hops).
+func (c *Comm) Broadcast(x []float64, root int) {
+	p := c.g.size
+	if p == 1 {
+		return
+	}
+	// Distance from root along the ring.
+	dist := (c.rank - root + p) % p
+	if dist > 0 {
+		in := c.recvLeft()
+		copy(x, in)
+	}
+	if dist < p-1 {
+		out := make([]float64, len(x))
+		copy(out, x)
+		c.sendRight(out)
+	}
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() {
+	tok := []float64{1}
+	c.AllReduceSum(tok)
+}
+
+// Link is an alpha-beta communication link: per-message latency plus
+// inverse bandwidth.
+type Link struct {
+	Latency   time.Duration
+	Bandwidth float64 // bytes per second
+}
+
+// Transfer returns the modeled time to move nBytes across the link.
+func (l Link) Transfer(nBytes float64) time.Duration {
+	if l.Bandwidth <= 0 {
+		return l.Latency
+	}
+	return l.Latency + time.Duration(nBytes/l.Bandwidth*float64(time.Second))
+}
+
+// RingAllReduceTime is the alpha-beta cost of a p-rank ring all-reduce of
+// nBytes: 2(p-1) steps, each moving nBytes/p over the slowest link.
+func RingAllReduceTime(nBytes float64, p int, link Link) time.Duration {
+	if p <= 1 {
+		return 0
+	}
+	steps := 2 * (p - 1)
+	return time.Duration(steps) * link.Transfer(nBytes/float64(p))
+}
+
+// NaiveAllReduceTime is the gather+broadcast cost: the root link carries
+// (p-1) full-vector messages in, then (p-1) out.
+func NaiveAllReduceTime(nBytes float64, p int, link Link) time.Duration {
+	if p <= 1 {
+		return 0
+	}
+	return time.Duration(2*(p-1)) * link.Transfer(nBytes)
+}
+
+// HierarchicalAllReduceTime models the two-level collective used on
+// L1 nodes x L2 GPUs-per-node clusters: ring reduce within each node over
+// the fast intra link, ring across node leaders over the slow inter link,
+// then an intra-node broadcast.
+func HierarchicalAllReduceTime(nBytes float64, nodes, perNode int, intra, inter Link) time.Duration {
+	var t time.Duration
+	if perNode > 1 {
+		t += RingAllReduceTime(nBytes, perNode, intra)
+	}
+	if nodes > 1 {
+		t += RingAllReduceTime(nBytes, nodes, inter)
+	}
+	if perNode > 1 && nodes > 1 {
+		// Leaders rebroadcast the cross-node result inside each node.
+		t += intra.Transfer(nBytes)
+	}
+	return t
+}

@@ -1,0 +1,236 @@
+package comm
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/vqmc-scale/parvqmc/internal/rng"
+)
+
+// runCollective executes body on every rank concurrently.
+func runCollective(g *Group, body func(c *Comm)) {
+	var wg sync.WaitGroup
+	wg.Add(g.Size())
+	for r := 0; r < g.Size(); r++ {
+		go func(r int) {
+			defer wg.Done()
+			body(g.Rank(r))
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestAllReduceSumMatchesSerial(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 7, 8} {
+		for _, n := range []int{1, 2, 5, 64, 1000} {
+			r := rng.New(uint64(p*1000 + n))
+			data := make([][]float64, p)
+			want := make([]float64, n)
+			for rank := range data {
+				data[rank] = make([]float64, n)
+				r.FillUniform(data[rank], -1, 1)
+				for i, v := range data[rank] {
+					want[i] += v
+				}
+			}
+			g := NewGroup(p)
+			runCollective(g, func(c *Comm) {
+				c.AllReduceSum(data[c.Rank()])
+			})
+			for rank := 0; rank < p; rank++ {
+				for i := range want {
+					if math.Abs(data[rank][i]-want[i]) > 1e-9 {
+						t.Fatalf("p=%d n=%d rank %d elem %d: %v want %v",
+							p, n, rank, i, data[rank][i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNaiveAllReduceMatchesRing(t *testing.T) {
+	p, n := 5, 200
+	r := rng.New(9)
+	ring := make([][]float64, p)
+	naive := make([][]float64, p)
+	for rank := 0; rank < p; rank++ {
+		ring[rank] = make([]float64, n)
+		r.FillUniform(ring[rank], -1, 1)
+		naive[rank] = append([]float64(nil), ring[rank]...)
+	}
+	g1 := NewGroup(p)
+	runCollective(g1, func(c *Comm) { c.AllReduceSum(ring[c.Rank()]) })
+	g2 := NewGroup(p)
+	runCollective(g2, func(c *Comm) { c.NaiveAllReduceSum(naive[c.Rank()]) })
+	for rank := 0; rank < p; rank++ {
+		for i := 0; i < n; i++ {
+			if math.Abs(ring[rank][i]-naive[rank][i]) > 1e-9 {
+				t.Fatalf("ring and naive disagree at rank %d elem %d", rank, i)
+			}
+		}
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 6} {
+		for root := 0; root < p; root++ {
+			data := make([][]float64, p)
+			for rank := range data {
+				data[rank] = []float64{float64(rank), float64(rank * 2)}
+			}
+			g := NewGroup(p)
+			runCollective(g, func(c *Comm) { c.Broadcast(data[c.Rank()], root) })
+			for rank := 0; rank < p; rank++ {
+				if data[rank][0] != float64(root) || data[rank][1] != float64(root*2) {
+					t.Fatalf("p=%d root=%d rank=%d got %v", p, root, rank, data[rank])
+				}
+			}
+		}
+	}
+}
+
+func TestBarrierCompletes(t *testing.T) {
+	g := NewGroup(6)
+	done := make(chan struct{})
+	go func() {
+		runCollective(g, func(c *Comm) {
+			for i := 0; i < 10; i++ {
+				c.Barrier()
+			}
+		})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("barrier deadlocked")
+	}
+}
+
+func TestRepeatedCollectives(t *testing.T) {
+	// The same group must be reusable for many rounds without deadlock or
+	// cross-round interference.
+	p, n := 4, 33
+	g := NewGroup(p)
+	data := make([][]float64, p)
+	for rank := range data {
+		data[rank] = make([]float64, n)
+	}
+	runCollective(g, func(c *Comm) {
+		for round := 0; round < 50; round++ {
+			x := data[c.Rank()]
+			for i := range x {
+				x[i] = float64(c.Rank() + round)
+			}
+			c.AllReduceSum(x)
+			// Sum over ranks of (rank + round) = p*round + p(p-1)/2.
+			want := float64(p*round + p*(p-1)/2)
+			for i := range x {
+				if x[i] != want {
+					t.Errorf("round %d rank %d: got %v want %v", round, c.Rank(), x[i], want)
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	p, n := 4, 100
+	g := NewGroup(p)
+	var bytes [4]int64
+	data := make([][]float64, p)
+	for rank := range data {
+		data[rank] = make([]float64, n)
+	}
+	runCollective(g, func(c *Comm) {
+		c.AllReduceSum(data[c.Rank()])
+		bytes[c.Rank()] = c.BytesSent()
+	})
+	// Ring all-reduce sends 2(p-1) chunks of ~n/p elements per rank.
+	wantApprox := int64(2 * (p - 1) * (n / p) * 8)
+	for rank, b := range bytes {
+		if b < wantApprox-64 || b > wantApprox+64 {
+			t.Fatalf("rank %d sent %d bytes, want ~%d", rank, b, wantApprox)
+		}
+	}
+}
+
+func TestRingTimeModel(t *testing.T) {
+	link := Link{Latency: time.Microsecond, Bandwidth: 1e9}
+	if RingAllReduceTime(1e6, 1, link) != 0 {
+		t.Fatal("single rank should cost nothing")
+	}
+	t2 := RingAllReduceTime(1e6, 2, link)
+	// 2 steps of 0.5MB at 1GB/s = 1ms + 2us latency.
+	want := 2*time.Microsecond + time.Duration(1e6/1e9*1e9)*time.Nanosecond
+	if t2 < want*9/10 || t2 > want*11/10 {
+		t.Fatalf("ring time %v, want ~%v", t2, want)
+	}
+	// Ring moves 2(p-1)/p of the data regardless of p: time should be
+	// nearly flat in p for bandwidth-dominated transfers.
+	t16 := RingAllReduceTime(1e6, 16, link)
+	if t16 > 3*t2 {
+		t.Fatalf("ring time grew too fast with p: %v -> %v", t2, t16)
+	}
+	// Naive should be much worse at large p.
+	if NaiveAllReduceTime(1e6, 16, link) < 5*t16 {
+		t.Fatalf("naive all-reduce model should dominate ring at p=16")
+	}
+}
+
+func TestHierarchicalTimeModel(t *testing.T) {
+	intra := Link{Latency: 5 * time.Microsecond, Bandwidth: 100e9}
+	inter := Link{Latency: 20 * time.Microsecond, Bandwidth: 10e9}
+	single := HierarchicalAllReduceTime(1e6, 1, 1, intra, inter)
+	if single != 0 {
+		t.Fatal("1x1 should cost nothing")
+	}
+	intraOnly := HierarchicalAllReduceTime(1e6, 1, 4, intra, inter)
+	multi := HierarchicalAllReduceTime(1e6, 4, 4, intra, inter)
+	if multi <= intraOnly {
+		t.Fatal("adding inter-node stage should cost more")
+	}
+	// Inter-node stage should dominate: slower link.
+	interOnly := HierarchicalAllReduceTime(1e6, 4, 1, intra, inter)
+	if interOnly <= intraOnly {
+		t.Fatal("inter-node ring should be slower than intra-node ring")
+	}
+}
+
+func TestRankBounds(t *testing.T) {
+	g := NewGroup(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for out-of-range rank")
+		}
+	}()
+	g.Rank(2)
+}
+
+func BenchmarkRingAllReduce8x4096(b *testing.B) {
+	g := NewGroup(8)
+	data := make([][]float64, 8)
+	for i := range data {
+		data[i] = make([]float64, 4096)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runCollective(g, func(c *Comm) { c.AllReduceSum(data[c.Rank()]) })
+	}
+}
+
+func BenchmarkNaiveAllReduce8x4096(b *testing.B) {
+	g := NewGroup(8)
+	data := make([][]float64, 8)
+	for i := range data {
+		data[i] = make([]float64, 4096)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runCollective(g, func(c *Comm) { c.NaiveAllReduceSum(data[c.Rank()]) })
+	}
+}

@@ -1,0 +1,70 @@
+package comm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/vqmc-scale/parvqmc/internal/rng"
+)
+
+// TestAllReduceProperty drives the ring all-reduce with randomized group
+// sizes, vector lengths and payloads via testing/quick: the result must
+// always equal the serial sum on every rank.
+func TestAllReduceProperty(t *testing.T) {
+	f := func(pRaw, nRaw uint8, seed uint64) bool {
+		p := 1 + int(pRaw)%8
+		n := 1 + int(nRaw)%257
+		r := rng.New(seed)
+		data := make([][]float64, p)
+		want := make([]float64, n)
+		for rank := range data {
+			data[rank] = make([]float64, n)
+			r.FillUniform(data[rank], -10, 10)
+			for i, v := range data[rank] {
+				want[i] += v
+			}
+		}
+		g := NewGroup(p)
+		runCollective(g, func(c *Comm) { c.AllReduceSum(data[c.Rank()]) })
+		for rank := 0; rank < p; rank++ {
+			for i := range want {
+				if math.Abs(data[rank][i]-want[i]) > 1e-8 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBroadcastProperty checks that broadcast delivers the root payload for
+// arbitrary group sizes and roots.
+func TestBroadcastProperty(t *testing.T) {
+	f := func(pRaw, rootRaw uint8, payload float64) bool {
+		p := 1 + int(pRaw)%8
+		root := int(rootRaw) % p
+		if math.IsNaN(payload) {
+			payload = 0
+		}
+		data := make([][]float64, p)
+		for rank := range data {
+			data[rank] = []float64{float64(rank)}
+		}
+		data[root][0] = payload
+		g := NewGroup(p)
+		runCollective(g, func(c *Comm) { c.Broadcast(data[c.Rank()], root) })
+		for rank := 0; rank < p; rank++ {
+			if data[rank][0] != payload {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

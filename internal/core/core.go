@@ -1,0 +1,282 @@
+// Package core implements the paper's primary contribution: the VQMC
+// optimization loop. Each iteration samples a batch from the trial state,
+// evaluates local energies l(x) = (H psi)(x)/psi(x) through the sparse row
+// structure (Eq. 3), forms the covariance-style gradient estimator (Eq. 5),
+// optionally preconditions it with stochastic reconfiguration, and applies
+// an optimizer step. The loop also tracks the standard deviation of the
+// stochastic objective, which vanishes at an exact eigenstate (Eq. 4) and is
+// the blue curve of the paper's Figure 2.
+package core
+
+import (
+	"math"
+	"time"
+
+	"github.com/vqmc-scale/parvqmc/internal/hamiltonian"
+	"github.com/vqmc-scale/parvqmc/internal/nn"
+	"github.com/vqmc-scale/parvqmc/internal/optimizer"
+	"github.com/vqmc-scale/parvqmc/internal/parallel"
+	"github.com/vqmc-scale/parvqmc/internal/sampler"
+	"github.com/vqmc-scale/parvqmc/internal/stats"
+	"github.com/vqmc-scale/parvqmc/internal/tensor"
+)
+
+// Model is the wavefunction contract the trainer needs: amplitudes,
+// gradients and flip ratios.
+type Model interface {
+	nn.Wavefunction
+	nn.CacheBuilder
+}
+
+// LocalEnergies fills out[k] with the local energy of batch row k:
+// l(x) = H_xx + sum_b H[x,x^b] * psi(x^b)/psi(x). Workers each own a
+// FlipCache so TIM's n flip ratios cost O(h) each for the RBM and one
+// forward pass each for MADE. For diagonal Hamiltonians (Max-Cut) no
+// wavefunction evaluation happens at all.
+func LocalEnergies(h hamiltonian.Hamiltonian, model nn.CacheBuilder, b *sampler.Batch, workers int, out []float64) {
+	flips := h.FlipTerms()
+	if len(flips) == 0 {
+		parallel.For(b.N, workers, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				out[k] = h.Diagonal(b.Row(k))
+			}
+		})
+		return
+	}
+	parallel.For(b.N, workers, func(lo, hi int) {
+		cache := model.NewFlipCache(b.Row(lo))
+		for k := lo; k < hi; k++ {
+			if k > lo {
+				cache.Reset(b.Row(k))
+			}
+			l := h.Diagonal(b.Row(k))
+			for _, ft := range flips {
+				l += ft.Amp * math.Exp(cache.Delta(ft.Bit))
+			}
+			out[k] = l
+		}
+	})
+}
+
+// IterStats summarizes one training iteration.
+type IterStats struct {
+	Iter   int
+	Energy float64 // batch mean of the local energy (red curve, Fig. 2)
+	Std    float64 // batch std-dev of the local energy (blue curve, Fig. 2)
+}
+
+// Timings accumulates wall-clock time per phase across iterations.
+type Timings struct {
+	Sample, Energy, Grad, Update time.Duration
+}
+
+// Total returns the summed training time.
+func (t Timings) Total() time.Duration { return t.Sample + t.Energy + t.Grad + t.Update }
+
+// Config tunes the trainer. Zero values select the paper's defaults.
+type Config struct {
+	BatchSize int // training batch size (paper: 1024)
+	Workers   int // CPU parallelism; <=0 means GOMAXPROCS
+	SR        *optimizer.SR
+}
+
+// Trainer runs the VQMC loop for one (Hamiltonian, model, sampler,
+// optimizer) quadruple.
+type Trainer struct {
+	H     hamiltonian.Hamiltonian
+	Model Model
+	Smp   sampler.Sampler
+	Opt   optimizer.Optimizer
+
+	cfg     Config
+	batch   *sampler.Batch
+	locals  []float64
+	grad    tensor.Vector
+	ows     *tensor.Batch // per-sample O_k, allocated only under SR
+	evals   []nn.GradEvaluator
+	iter    int
+	timings Timings
+}
+
+// New assembles a trainer. BatchSize defaults to 1024.
+func New(h hamiltonian.Hamiltonian, model Model, smp sampler.Sampler, opt optimizer.Optimizer, cfg Config) *Trainer {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 1024
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = parallel.MaxWorkers()
+	}
+	t := &Trainer{H: h, Model: model, Smp: smp, Opt: opt, cfg: cfg}
+	t.batch = sampler.NewBatch(cfg.BatchSize, h.N())
+	t.locals = make([]float64, cfg.BatchSize)
+	t.grad = tensor.NewVector(model.NumParams())
+	if cfg.SR != nil {
+		t.ows = tensor.NewBatch(cfg.BatchSize, model.NumParams())
+	}
+	t.evals = make([]nn.GradEvaluator, cfg.Workers)
+	for i := range t.evals {
+		t.evals[i] = newGradEvaluator(model)
+	}
+	return t
+}
+
+func newGradEvaluator(m Model) nn.GradEvaluator {
+	if b, ok := m.(nn.GradEvaluatorBuilder); ok {
+		return b.NewGradEvaluator()
+	}
+	return fallbackEvaluator{m}
+}
+
+type fallbackEvaluator struct{ m Model }
+
+func (f fallbackEvaluator) GradLogPsi(x []int, g tensor.Vector) { f.m.GradLogPsi(x, g) }
+func (f fallbackEvaluator) LogPsi(x []int) float64              { return f.m.LogPsi(x) }
+
+// Config returns the effective configuration.
+func (t *Trainer) Config() Config { return t.cfg }
+
+// Timings returns cumulative per-phase wall-clock times.
+func (t *Trainer) Timings() Timings { return t.timings }
+
+// Step runs one VQMC iteration and returns its statistics.
+func (t *Trainer) Step() IterStats {
+	t.iter++
+	t0 := time.Now()
+	t.Smp.Sample(t.batch)
+	t1 := time.Now()
+	t.timings.Sample += t1.Sub(t0)
+
+	LocalEnergies(t.H, t.Model, t.batch, t.cfg.Workers, t.locals)
+	mean, std := stats.MeanStd(t.locals)
+	t2 := time.Now()
+	t.timings.Energy += t2.Sub(t1)
+
+	t.computeGradient(mean)
+	t3 := time.Now()
+	t.timings.Grad += t3.Sub(t2)
+
+	step := t.grad
+	if t.cfg.SR != nil {
+		step = t.cfg.SR.Precondition(t.ows, t.grad)
+	}
+	t.Opt.Step(t.Model.Params(), step)
+	t.timings.Update += time.Since(t3)
+
+	return IterStats{Iter: t.iter, Energy: mean, Std: std}
+}
+
+// computeGradient forms g = (2/B) sum_k (l_k - mean) O_k. Under SR the
+// per-sample O_k rows are also stored for the Fisher solve; otherwise
+// gradients are reduced on the fly with per-worker accumulators and never
+// materialized.
+func (t *Trainer) computeGradient(mean float64) {
+	bs := t.batch.N
+	d := t.Model.NumParams()
+	ranges := parallel.Partition(bs, t.cfg.Workers)
+	if t.ows != nil {
+		parallel.ForEach(len(ranges), t.cfg.Workers, func(w int) {
+			ev := t.evals[w]
+			for k := ranges[w].Lo; k < ranges[w].Hi; k++ {
+				ev.GradLogPsi(t.batch.Row(k), t.ows.Sample(k))
+			}
+		})
+		for i := range t.grad {
+			t.grad[i] = 0
+		}
+		for k := 0; k < bs; k++ {
+			t.grad.AXPY(2*(t.locals[k]-mean)/float64(bs), t.ows.Sample(k))
+		}
+		return
+	}
+	parts := make([]tensor.Vector, len(ranges))
+	parallel.ForEach(len(ranges), t.cfg.Workers, func(w int) {
+		ev := t.evals[w]
+		acc := tensor.NewVector(d)
+		gbuf := tensor.NewVector(d)
+		for k := ranges[w].Lo; k < ranges[w].Hi; k++ {
+			ev.GradLogPsi(t.batch.Row(k), gbuf)
+			acc.AXPY(2*(t.locals[k]-mean)/float64(bs), gbuf)
+		}
+		parts[w] = acc
+	})
+	for i := range t.grad {
+		t.grad[i] = 0
+	}
+	for _, p := range parts {
+		t.grad.Add(p)
+	}
+}
+
+// Train runs iters iterations, invoking cb (if non-nil) after each, and
+// returns the per-iteration statistics.
+func (t *Trainer) Train(iters int, cb func(IterStats)) []IterStats {
+	out := make([]IterStats, 0, iters)
+	for i := 0; i < iters; i++ {
+		s := t.Step()
+		out = append(out, s)
+		if cb != nil {
+			cb(s)
+		}
+	}
+	return out
+}
+
+// Evaluate draws a fresh batch and returns the mean and standard deviation
+// of the local energy without updating parameters (the paper's testing
+// protocol: 1024 evaluation samples).
+func (t *Trainer) Evaluate(batchSize int) (mean, std float64) {
+	mean, std, _, _ = t.EvaluateBest(batchSize)
+	return mean, std
+}
+
+// EvaluateBest additionally returns the lowest local energy in the
+// evaluation batch and the configuration achieving it — the natural metric
+// when VQMC is used as a combinatorial-optimization heuristic.
+func (t *Trainer) EvaluateBest(batchSize int) (mean, std, best float64, argBest []int) {
+	if batchSize <= 0 {
+		batchSize = 1024
+	}
+	b := sampler.NewBatch(batchSize, t.H.N())
+	t.Smp.Sample(b)
+	locals := make([]float64, batchSize)
+	LocalEnergies(t.H, t.Model, b, t.cfg.Workers, locals)
+	mean, std = stats.MeanStd(locals)
+	best = locals[0]
+	kBest := 0
+	for k, l := range locals {
+		if l < best {
+			best, kBest = l, k
+		}
+	}
+	argBest = append([]int(nil), b.Row(kBest)...)
+	return mean, std, best, argBest
+}
+
+// HitResult reports a hitting-time run (the paper's Table 5 protocol).
+type HitResult struct {
+	Hit       bool
+	Iters     int
+	TrainTime time.Duration // training time only; evaluation excluded
+	Score     float64       // final evaluation score
+}
+
+// TrainUntil trains until score(evalEnergy) >= target, evaluating a fresh
+// batch after every iteration. Evaluation time is excluded from TrainTime,
+// matching the paper's measurement protocol.
+func (t *Trainer) TrainUntil(target float64, score func(meanEnergy float64) float64, maxIters, evalBatch int) HitResult {
+	var trainTime time.Duration
+	for i := 0; i < maxIters; i++ {
+		start := time.Now()
+		t.Step()
+		trainTime += time.Since(start)
+		mean, _ := t.Evaluate(evalBatch)
+		if s := score(mean); s >= target {
+			return HitResult{Hit: true, Iters: i + 1, TrainTime: trainTime, Score: s}
+		}
+	}
+	mean, _ := t.Evaluate(evalBatch)
+	return HitResult{Hit: false, Iters: maxIters, TrainTime: trainTime, Score: score(mean)}
+}
+
+// GradientNorm returns the Euclidean norm of the last computed gradient.
+func (t *Trainer) GradientNorm() float64 { return t.grad.Norm2() }

@@ -1,0 +1,262 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (see the per-experiment index in DESIGN.md).
+//
+// Two presets control scale. "paper" uses the paper's dimensions and
+// iteration counts — faithful but extremely slow without the original GPU
+// cluster. "ci" shrinks dimensions and iterations so every experiment runs
+// on a laptop-class CPU in minutes while preserving the comparisons each
+// table is about (who wins, how costs scale). Timing columns that the paper
+// measured on V100 GPUs are additionally reported from the calibrated
+// device model (internal/device), which is dimension-faithful at any scale.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/vqmc-scale/parvqmc/internal/core"
+	"github.com/vqmc-scale/parvqmc/internal/device"
+	"github.com/vqmc-scale/parvqmc/internal/graph"
+	"github.com/vqmc-scale/parvqmc/internal/hamiltonian"
+	"github.com/vqmc-scale/parvqmc/internal/nn"
+	"github.com/vqmc-scale/parvqmc/internal/optimizer"
+	"github.com/vqmc-scale/parvqmc/internal/rng"
+	"github.com/vqmc-scale/parvqmc/internal/sampler"
+	"github.com/vqmc-scale/parvqmc/internal/trace"
+)
+
+// Preset bundles the scale knobs of a full experiment sweep.
+type Preset struct {
+	Name      string
+	Dims      []int // problem sizes for Tables 1-5 / Figure 2
+	BigDims   []int // dimensions for Figures 3-4 / Tables 6-7
+	Iters     int   // training iterations per run
+	BatchSize int   // training batch size
+	EvalBatch int   // evaluation batch size
+	Seeds     int   // independent repetitions
+	GPUCounts []int // Figure 4 device counts
+	MBS       int   // per-device batch for Figures 3-4 / Table 6
+	// MaxRealDim bounds the dimensions actually trained on this machine;
+	// larger dimensions appear in modeled-time columns only.
+	MaxRealDim int
+	Workers    int // CPU workers per run
+}
+
+// PaperPreset reproduces the paper's exact parameters. Expect days of CPU
+// time at the large dimensions.
+func PaperPreset() Preset {
+	return Preset{
+		Name:       "paper",
+		Dims:       []int{20, 50, 100, 200, 500},
+		BigDims:    []int{20, 50, 100, 200, 500, 1000, 2000, 5000, 10000},
+		Iters:      300,
+		BatchSize:  1024,
+		EvalBatch:  1024,
+		Seeds:      5,
+		GPUCounts:  []int{1, 2, 4, 8, 16, 24},
+		MBS:        4,
+		MaxRealDim: 500,
+		Workers:    0,
+	}
+}
+
+// CIPreset shrinks everything to minutes of CPU time while keeping every
+// comparison qualitative: it is the preset EXPERIMENTS.md records.
+func CIPreset() Preset {
+	return Preset{
+		Name:       "ci",
+		Dims:       []int{12, 16, 24},
+		BigDims:    []int{20, 50, 100, 200, 500, 1000, 2000, 5000, 10000},
+		Iters:      200,
+		BatchSize:  256,
+		EvalBatch:  512,
+		Seeds:      2,
+		GPUCounts:  []int{1, 2, 4, 8, 16},
+		MBS:        4,
+		MaxRealDim: 32,
+		Workers:    0,
+	}
+}
+
+// SmokePreset is the tiny preset used by unit tests of this package.
+func SmokePreset() Preset {
+	return Preset{
+		Name:       "smoke",
+		Dims:       []int{8, 10},
+		BigDims:    []int{20, 100, 1000, 10000},
+		Iters:      40,
+		BatchSize:  64,
+		EvalBatch:  128,
+		Seeds:      1,
+		GPUCounts:  []int{1, 2, 4},
+		MBS:        4,
+		MaxRealDim: 12,
+		Workers:    2,
+	}
+}
+
+// PresetByName resolves "paper", "ci" or "smoke".
+func PresetByName(name string) (Preset, error) {
+	switch name {
+	case "paper":
+		return PaperPreset(), nil
+	case "ci", "":
+		return CIPreset(), nil
+	case "smoke":
+		return SmokePreset(), nil
+	}
+	return Preset{}, fmt.Errorf("experiments: unknown preset %q", name)
+}
+
+// Experiment is a runnable paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(p Preset, out io.Writer, csvDir string) error
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Training time, 300 iterations, one GPU (TIM)", Table1},
+		{"fig2", "Training curves for TIM (energy and std-dev)", Figure2},
+		{"table2", "Converged objective values (Max-Cut and TIM)", Table2},
+		{"fig3", "Weak scaling of sampling time across GPU configurations", Figure3},
+		{"fig4", "Converged energy vs number of GPUs (effective batch)", Figure4},
+		{"table3", "Ablation: latent size (cut and time)", Table3},
+		{"table4", "Ablation: MCMC sampling scheme (cut and time)", Table4},
+		{"table5", "Hitting time to target cut", Table5},
+		{"table6", "Raw data: converged energy and time per GPU config", Table6},
+		{"table7", "Raw data: weak-scaling times at memory-saturating batch", Table7},
+		{"eq14", "Supplementary: Eq. 14 MCMC parallel efficiency", Eq14},
+	}
+}
+
+// Run executes one experiment by ID.
+func Run(id string, p Preset, out io.Writer, csvDir string) error {
+	for _, e := range All() {
+		if e.ID == id {
+			fmt.Fprintf(out, "== %s: %s (preset %s) ==\n", e.ID, e.Title, p.Name)
+			return e.Run(p, out, csvDir)
+		}
+	}
+	ids := make([]string, 0)
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
+}
+
+// ---- shared run helpers ----
+
+// hiddenMADE applies the paper's latent rule, with a floor for tiny CI dims.
+func hiddenMADE(n int) int {
+	h := device.HiddenMADE(n)
+	if h < 8 {
+		h = 8
+	}
+	return h
+}
+
+// runSpec describes one VQMC training run.
+type runSpec struct {
+	h         hamiltonian.Hamiltonian
+	model     string // "MADE" or "RBM"
+	opt       string // "SGD", "ADAM", "SGD+SR"
+	latent    int    // hidden size; 0 = paper default for the model
+	mcmc      sampler.MCMCConfig
+	iters     int
+	batchSize int
+	evalBatch int
+	workers   int
+	seed      uint64
+}
+
+// runResult is the outcome of one training run.
+type runResult struct {
+	EvalEnergy float64
+	EvalStd    float64
+	Curve      []core.IterStats
+	TrainTime  time.Duration
+	Trainer    *core.Trainer
+}
+
+// buildOptimizer maps a spec name to an optimizer and optional SR.
+func buildOptimizer(name string) (optimizer.Optimizer, *optimizer.SR) {
+	switch name {
+	case "SGD":
+		return optimizer.NewSGD(0.1), nil
+	case "ADAM":
+		return optimizer.NewAdam(0.01), nil
+	case "SGD+SR":
+		return optimizer.NewSGD(0.1), optimizer.NewSR(1e-3)
+	}
+	panic("experiments: unknown optimizer " + name)
+}
+
+// train executes a run spec end to end.
+func train(spec runSpec) runResult {
+	n := spec.h.N()
+	r := rng.New(spec.seed)
+	opt, sr := buildOptimizer(spec.opt)
+	cfg := core.Config{BatchSize: spec.batchSize, Workers: spec.workers, SR: sr}
+
+	var model core.Model
+	var smp sampler.Sampler
+	switch spec.model {
+	case "MADE":
+		hsz := spec.latent
+		if hsz <= 0 {
+			hsz = hiddenMADE(n)
+		}
+		m := nn.NewMADE(n, hsz, r.Split())
+		model, smp = m, sampler.NewAutoMADE(m, true, spec.workers, r.Split())
+	case "RBM":
+		hsz := spec.latent
+		if hsz <= 0 {
+			hsz = n
+		}
+		m := nn.NewRBM(n, hsz, r.Split())
+		model, smp = m, sampler.NewMCMC(m, spec.mcmc, r.Split())
+	default:
+		panic("experiments: unknown model " + spec.model)
+	}
+
+	tr := core.New(spec.h, model, smp, opt, cfg)
+	start := time.Now()
+	curve := tr.Train(spec.iters, nil)
+	elapsed := time.Since(start)
+	mean, std := tr.Evaluate(spec.evalBatch)
+	return runResult{EvalEnergy: mean, EvalStd: std, Curve: curve, TrainTime: elapsed, Trainer: tr}
+}
+
+// maxCutInstance builds the fixed problem instance for a dimension: the
+// paper samples each instance once per size and reuses it across seeds.
+func maxCutInstance(n int) (*graph.Graph, *hamiltonian.MaxCut) {
+	g := graph.RandomBernoulli(n, rng.New(uint64(1e6+n)))
+	return g, hamiltonian.NewMaxCut(g)
+}
+
+// timInstance builds the fixed TIM instance for a dimension.
+func timInstance(n int) *hamiltonian.TIM {
+	return hamiltonian.RandomTIM(n, rng.New(uint64(2e6+n)))
+}
+
+// meanStdOver aggregates per-seed scalars into the "mean +- std" cell the
+// paper reports.
+func meanStdOver(values []float64) string {
+	var m, s float64
+	for _, v := range values {
+		m += v
+	}
+	m /= float64(len(values))
+	for _, v := range values {
+		s += (v - m) * (v - m)
+	}
+	s = math.Sqrt(s / float64(len(values)))
+	return trace.MeanStd(m, s)
+}

@@ -1,0 +1,148 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"github.com/vqmc-scale/parvqmc/internal/rng"
+)
+
+func TestAddEdgeSymmetric(t *testing.T) {
+	g := New(4)
+	g.AddEdge(2, 0, 1.5)
+	if g.Weight(0, 2) != 1.5 || g.Weight(2, 0) != 1.5 {
+		t.Fatal("adjacency not symmetric")
+	}
+	if len(g.Edges) != 1 || g.Edges[0].U != 0 || g.Edges[0].V != 2 {
+		t.Fatalf("edge list %v", g.Edges)
+	}
+}
+
+func TestSelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on self loop")
+		}
+	}()
+	New(3).AddEdge(1, 1, 1)
+}
+
+func TestRandomBernoulliProperties(t *testing.T) {
+	r := rng.New(99)
+	n := 60
+	g := RandomBernoulli(n, r)
+	// Symmetric with zero diagonal.
+	for i := 0; i < n; i++ {
+		if g.Weight(i, i) != 0 {
+			t.Fatal("nonzero diagonal")
+		}
+		for j := 0; j < n; j++ {
+			if g.Weight(i, j) != g.Weight(j, i) {
+				t.Fatal("asymmetric adjacency")
+			}
+			if w := g.Weight(i, j); w != 0 && w != 1 {
+				t.Fatalf("non-binary weight %v", w)
+			}
+		}
+	}
+	// Edge probability should be about 3/4 (B_ij + B_ji >= 1).
+	pairs := float64(n * (n - 1) / 2)
+	density := float64(len(g.Edges)) / pairs
+	if math.Abs(density-0.75) > 0.05 {
+		t.Errorf("edge density %v, want ~0.75", density)
+	}
+}
+
+func TestRandomBernoulliDeterministic(t *testing.T) {
+	g1 := RandomBernoulli(20, rng.New(5))
+	g2 := RandomBernoulli(20, rng.New(5))
+	if len(g1.Edges) != len(g2.Edges) {
+		t.Fatal("same seed produced different graphs")
+	}
+	for i := range g1.Edges {
+		if g1.Edges[i] != g2.Edges[i] {
+			t.Fatal("same seed produced different edges")
+		}
+	}
+}
+
+func TestCutValueTriangle(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(0, 2, 1)
+	// Any 2-1 split of a triangle cuts exactly 2 edges.
+	for _, x := range [][]int{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}} {
+		if got := g.CutValue(x); got != 2 {
+			t.Errorf("CutValue(%v) = %v, want 2", x, got)
+		}
+	}
+	if g.CutValue([]int{0, 0, 0}) != 0 {
+		t.Error("empty cut should be 0")
+	}
+}
+
+func TestCutValueSpinsAgrees(t *testing.T) {
+	r := rng.New(3)
+	g := RandomBernoulli(15, r)
+	for trial := 0; trial < 20; trial++ {
+		x := make([]int, g.N)
+		s := make([]float64, g.N)
+		for i := range x {
+			x[i] = r.Bit()
+			s[i] = float64(1 - 2*x[i])
+		}
+		if math.Abs(g.CutValue(x)-g.CutValueSpins(s)) > 1e-12 {
+			t.Fatalf("cut mismatch: %v vs %v", g.CutValue(x), g.CutValueSpins(s))
+		}
+	}
+}
+
+func TestCutComplementInvariance(t *testing.T) {
+	r := rng.New(4)
+	g := RandomBernoulli(12, r)
+	x := make([]int, g.N)
+	y := make([]int, g.N)
+	for i := range x {
+		x[i] = r.Bit()
+		y[i] = 1 - x[i]
+	}
+	if g.CutValue(x) != g.CutValue(y) {
+		t.Fatal("cut not invariant under complement")
+	}
+}
+
+func TestLaplacianQuadraticFormIsCut(t *testing.T) {
+	// s^T L s / 4 counts = sum_edges w (1 - s_i s_j)/2 ... specifically
+	// (1/4) s^T L s = cut(s).
+	r := rng.New(6)
+	g := RandomBernoulli(10, r)
+	l := g.Laplacian()
+	s := make([]float64, g.N)
+	x := make([]int, g.N)
+	for i := range s {
+		x[i] = r.Bit()
+		s[i] = float64(1 - 2*x[i])
+	}
+	var quad float64
+	for i := 0; i < g.N; i++ {
+		for j := 0; j < g.N; j++ {
+			quad += s[i] * l[i*g.N+j] * s[j]
+		}
+	}
+	if math.Abs(quad/4-g.CutValue(x)) > 1e-9 {
+		t.Fatalf("s^T L s / 4 = %v, cut = %v", quad/4, g.CutValue(x))
+	}
+}
+
+func TestDegreeAndTotalWeight(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(0, 2, 3)
+	if g.Degree(0) != 5 {
+		t.Errorf("Degree(0) = %v", g.Degree(0))
+	}
+	if g.TotalWeight() != 5 {
+		t.Errorf("TotalWeight = %v", g.TotalWeight())
+	}
+}

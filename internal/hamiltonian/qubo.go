@@ -1,0 +1,64 @@
+package hamiltonian
+
+import "github.com/vqmc-scale/parvqmc/internal/rng"
+
+// QUBO is a quadratic unconstrained binary optimization objective
+//
+//	minimize  f(x) = sum_i Q_ii x_i + sum_{i<j} Q_ij x_i x_j,  x in {0,1}^n
+//
+// encoded as a diagonal Hamiltonian (H_xx = f(x)) so VQMC can be used as a
+// heuristic solver, generalizing Max-Cut (Section 2.4 of the paper).
+type QUBO struct {
+	n int
+	Q []float64 // row-major n x n; diagonal = linear terms, upper triangle = couplings
+}
+
+// NewQUBO wraps a coefficient matrix (only the diagonal and strict upper
+// triangle are read).
+func NewQUBO(q []float64, n int) *QUBO {
+	if len(q) != n*n {
+		panic("hamiltonian: QUBO matrix must be n*n")
+	}
+	return &QUBO{n: n, Q: q}
+}
+
+// RandomQUBO samples coefficients uniformly from [-1, 1].
+func RandomQUBO(n int, r *rng.Rand) *QUBO {
+	q := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		q[i*n+i] = r.Uniform(-1, 1)
+		for j := i + 1; j < n; j++ {
+			q[i*n+j] = r.Uniform(-1, 1)
+		}
+	}
+	return NewQUBO(q, n)
+}
+
+// N implements Hamiltonian.
+func (q *QUBO) N() int { return q.n }
+
+// Diagonal implements Hamiltonian: the QUBO objective value of x.
+func (q *QUBO) Diagonal(x []int) float64 {
+	var f float64
+	for i := 0; i < q.n; i++ {
+		if x[i] == 0 {
+			continue
+		}
+		row := q.Q[i*q.n : (i+1)*q.n]
+		f += row[i]
+		for j := i + 1; j < q.n; j++ {
+			if x[j] == 1 {
+				f += row[j]
+			}
+		}
+	}
+	return f
+}
+
+// FlipTerms implements Hamiltonian; QUBO matrices are diagonal.
+func (q *QUBO) FlipTerms() []FlipTerm { return nil }
+
+// Objective is an alias for Diagonal with the optimization reading.
+func (q *QUBO) Objective(x []int) float64 { return q.Diagonal(x) }
+
+var _ Hamiltonian = (*QUBO)(nil)

@@ -1,0 +1,105 @@
+package hamiltonian
+
+import (
+	"math"
+	"testing"
+
+	"github.com/vqmc-scale/parvqmc/internal/graph"
+	"github.com/vqmc-scale/parvqmc/internal/rng"
+)
+
+func TestQUBOObjective(t *testing.T) {
+	// f(x) = 2 x0 - x1 + 3 x0 x1.
+	q := NewQUBO([]float64{2, 3, 0, -1}, 2)
+	cases := map[[2]int]float64{
+		{0, 0}: 0,
+		{1, 0}: 2,
+		{0, 1}: -1,
+		{1, 1}: 4,
+	}
+	for x, want := range cases {
+		if got := q.Objective([]int{x[0], x[1]}); got != want {
+			t.Errorf("f(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestQUBOIsDiagonalHamiltonian(t *testing.T) {
+	q := RandomQUBO(6, rng.New(1))
+	if len(q.FlipTerms()) != 0 {
+		t.Fatal("QUBO should be diagonal")
+	}
+	if q.N() != 6 {
+		t.Fatalf("N = %d", q.N())
+	}
+	if Sparsity(q) != 1 {
+		t.Fatalf("Sparsity = %d", Sparsity(q))
+	}
+}
+
+func TestQUBODenseAgreesWithObjective(t *testing.T) {
+	q := RandomQUBO(6, rng.New(2))
+	d := Dense(q)
+	dim := 1 << 6
+	x := make([]int, 6)
+	for ix := 0; ix < dim; ix++ {
+		IndexToBits(ix, x)
+		if math.Abs(d[ix*dim+ix]-q.Objective(x)) > 1e-12 {
+			t.Fatalf("dense diagonal disagrees at %d", ix)
+		}
+	}
+}
+
+func TestQUBOSubsumesMaxCut(t *testing.T) {
+	// Max-Cut on G is the QUBO with Q_ii = -deg(i)/... easiest check: the
+	// QUBO f(x) = sum_{(i,j) in E} w (x_i + x_j - 2 x_i x_j) * (-1) has
+	// ground state equal to the maximum cut. Build it and compare optima.
+	r := rng.New(3)
+	g := graph.RandomBernoulli(8, r)
+	n := g.N
+	q := make([]float64, n*n)
+	for _, e := range g.Edges {
+		// -(x_u + x_v - 2 x_u x_v) counts -1 per cut edge.
+		q[e.U*n+e.U] -= e.W
+		q[e.V*n+e.V] -= e.W
+		if e.U < e.V {
+			q[e.U*n+e.V] += 2 * e.W
+		} else {
+			q[e.V*n+e.U] += 2 * e.W
+		}
+	}
+	qubo := NewQUBO(q, n)
+	x := make([]int, n)
+	bestQ, bestCut := math.Inf(1), 0.0
+	for ix := 0; ix < 1<<uint(n); ix++ {
+		IndexToBits(ix, x)
+		if f := qubo.Objective(x); f < bestQ {
+			bestQ = f
+		}
+		if c := g.CutValue(x); c > bestCut {
+			bestCut = c
+		}
+	}
+	if math.Abs(-bestQ-bestCut) > 1e-9 {
+		t.Fatalf("QUBO optimum %v != max cut %v", -bestQ, bestCut)
+	}
+}
+
+func TestQUBOValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-size matrix accepted")
+		}
+	}()
+	NewQUBO(make([]float64, 5), 2)
+}
+
+func TestRandomQUBODeterministic(t *testing.T) {
+	a := RandomQUBO(5, rng.New(7))
+	b := RandomQUBO(5, rng.New(7))
+	for i := range a.Q {
+		if a.Q[i] != b.Q[i] {
+			t.Fatal("same seed gave different QUBO")
+		}
+	}
+}

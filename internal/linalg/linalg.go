@@ -1,0 +1,369 @@
+// Package linalg provides the iterative solvers that back the stochastic
+// reconfiguration optimizer and the exact diagonalizer: matrix-free conjugate
+// gradients, Lanczos tridiagonalization with full reorthogonalization, a
+// symmetric tridiagonal eigensolver (implicit QL), and a dense Jacobi
+// eigensolver used for cross-validation in tests.
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// MatVec applies a symmetric linear operator: out = A*v. Implementations must
+// not retain v or out.
+type MatVec func(v, out []float64)
+
+// CGResult reports the outcome of a conjugate-gradient solve.
+type CGResult struct {
+	Iterations int
+	Residual   float64 // final ||Ax-b|| / ||b||
+	Converged  bool
+}
+
+// CG solves A x = b for symmetric positive definite A using conjugate
+// gradients, starting from the current contents of x. It stops when the
+// relative residual drops below tol or after maxIter iterations.
+func CG(a MatVec, b, x []float64, tol float64, maxIter int) CGResult {
+	n := len(b)
+	r := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+
+	a(x, ap)
+	var bnorm float64
+	for i := range b {
+		r[i] = b[i] - ap[i]
+		bnorm += b[i] * b[i]
+	}
+	bnorm = math.Sqrt(bnorm)
+	if bnorm == 0 {
+		for i := range x {
+			x[i] = 0
+		}
+		return CGResult{Converged: true}
+	}
+	copy(p, r)
+	rr := dot(r, r)
+	for k := 0; k < maxIter; k++ {
+		if math.Sqrt(rr)/bnorm < tol {
+			return CGResult{Iterations: k, Residual: math.Sqrt(rr) / bnorm, Converged: true}
+		}
+		a(p, ap)
+		pap := dot(p, ap)
+		if pap <= 0 {
+			// Not positive definite along p; bail out with best iterate.
+			return CGResult{Iterations: k, Residual: math.Sqrt(rr) / bnorm, Converged: false}
+		}
+		alpha := rr / pap
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		rrNew := dot(r, r)
+		beta := rrNew / rr
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		rr = rrNew
+	}
+	return CGResult{Iterations: maxIter, Residual: math.Sqrt(rr) / bnorm, Converged: math.Sqrt(rr)/bnorm < tol}
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i, x := range a {
+		s += x * b[i]
+	}
+	return s
+}
+
+func norm(a []float64) float64 { return math.Sqrt(dot(a, a)) }
+
+// LanczosResult holds the lowest Ritz pair from a Lanczos run.
+type LanczosResult struct {
+	Eigenvalue  float64
+	Eigenvector []float64 // normalized, length n; nil if vector not requested
+	Iterations  int
+	Converged   bool
+}
+
+// LanczosMin computes the minimal eigenvalue (and eigenvector) of the
+// symmetric operator a of dimension n, using at most maxKrylov Lanczos
+// vectors with full reorthogonalization. The start vector is v0 (copied),
+// or e_1-like pseudo-random if v0 is nil. tol bounds the residual estimate
+// |beta_m * y_m| on the Ritz value.
+func LanczosMin(a MatVec, n int, v0 []float64, maxKrylov int, tol float64) (LanczosResult, error) {
+	if maxKrylov < 2 {
+		return LanczosResult{}, errors.New("linalg: maxKrylov must be >= 2")
+	}
+	if maxKrylov > n {
+		maxKrylov = n
+	}
+	// Krylov basis, kept for reorthogonalization and eigenvector recovery.
+	basis := make([][]float64, 0, maxKrylov)
+	alpha := make([]float64, 0, maxKrylov)
+	beta := make([]float64, 0, maxKrylov) // beta[j] links v_j and v_{j+1}
+
+	v := make([]float64, n)
+	if v0 != nil {
+		copy(v, v0)
+	} else {
+		for i := range v {
+			v[i] = 1 / math.Sqrt(float64(n))
+			if i%2 == 1 {
+				v[i] = -v[i]
+			}
+		}
+	}
+	nv := norm(v)
+	if nv == 0 {
+		return LanczosResult{}, errors.New("linalg: zero start vector")
+	}
+	for i := range v {
+		v[i] /= nv
+	}
+
+	w := make([]float64, n)
+	best := LanczosResult{Eigenvalue: math.Inf(1)}
+	for j := 0; j < maxKrylov; j++ {
+		vj := make([]float64, n)
+		copy(vj, v)
+		basis = append(basis, vj)
+
+		a(vj, w)
+		aj := dot(vj, w)
+		alpha = append(alpha, aj)
+		// w = w - alpha_j v_j - beta_{j-1} v_{j-1}
+		for i := range w {
+			w[i] -= aj * vj[i]
+		}
+		if j > 0 {
+			bj := beta[j-1]
+			prev := basis[j-1]
+			for i := range w {
+				w[i] -= bj * prev[i]
+			}
+		}
+		// Full reorthogonalization for numerical robustness.
+		for _, u := range basis {
+			c := dot(u, w)
+			if c != 0 {
+				for i := range w {
+					w[i] -= c * u[i]
+				}
+			}
+		}
+		bNext := norm(w)
+
+		// Solve the (j+1)x(j+1) tridiagonal eigenproblem.
+		m := j + 1
+		d := make([]float64, m)
+		e := make([]float64, m)
+		copy(d, alpha)
+		for k := 0; k < j; k++ {
+			e[k+1] = beta[k]
+		}
+		z := identity(m)
+		if err := tqli(d, e, m, z); err != nil {
+			return LanczosResult{}, err
+		}
+		// Find minimal Ritz value.
+		kMin := 0
+		for k := 1; k < m; k++ {
+			if d[k] < d[kMin] {
+				kMin = k
+			}
+		}
+		resid := math.Abs(bNext * z[(m-1)*m+kMin])
+		best = LanczosResult{Eigenvalue: d[kMin], Iterations: m, Converged: resid < tol}
+		if best.Converged || bNext < 1e-14 || m == maxKrylov {
+			// Recover the eigenvector in the original space.
+			vec := make([]float64, n)
+			for k := 0; k < m; k++ {
+				c := z[k*m+kMin]
+				for i := range vec {
+					vec[i] += c * basis[k][i]
+				}
+			}
+			nv := norm(vec)
+			for i := range vec {
+				vec[i] /= nv
+			}
+			best.Eigenvector = vec
+			best.Converged = best.Converged || bNext < 1e-14
+			return best, nil
+		}
+		beta = append(beta, bNext)
+		for i := range v {
+			v[i] = w[i] / bNext
+		}
+	}
+	return best, nil
+}
+
+func identity(m int) []float64 {
+	z := make([]float64, m*m)
+	for i := 0; i < m; i++ {
+		z[i*m+i] = 1
+	}
+	return z
+}
+
+// tqli diagonalizes a symmetric tridiagonal matrix with diagonal d[0..n-1]
+// and subdiagonal e[1..n-1] (e[0] unused) using the implicit QL algorithm
+// with Wilkinson shifts. On return d holds eigenvalues and z (n x n,
+// row-major, initialized by the caller, typically to identity) accumulates
+// the rotations so column k of z is the eigenvector for d[k].
+func tqli(d, e []float64, n int, z []float64) error {
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0
+	for l := 0; l < n; l++ {
+		iter := 0
+		for {
+			var m int
+			for m = l; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if math.Abs(e[m]) <= 1e-15*dd {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			if iter++; iter == 50 {
+				return errors.New("linalg: tqli failed to converge")
+			}
+			g := (d[l+1] - d[l]) / (2 * e[l])
+			r := math.Hypot(g, 1)
+			g = d[m] - d[l] + e[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := m - 1; i >= l; i-- {
+				f := s * e[i]
+				b := c * e[i]
+				r = math.Hypot(f, g)
+				e[i+1] = r
+				if r == 0 {
+					d[i+1] -= p
+					e[m] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+				for k := 0; k < n; k++ {
+					f := z[k*n+i+1]
+					z[k*n+i+1] = s*z[k*n+i] + c*f
+					z[k*n+i] = c*z[k*n+i] - s*f
+				}
+			}
+			if r == 0 && m-1 >= l {
+				continue
+			}
+			d[l] -= p
+			e[l] = g
+			e[m] = 0
+		}
+	}
+	return nil
+}
+
+// TridiagEigen diagonalizes a symmetric tridiagonal matrix given its
+// diagonal diag and subdiagonal sub (len(sub) == len(diag)-1). It returns
+// the eigenvalues and the row-major eigenvector matrix (column k for
+// eigenvalue k).
+func TridiagEigen(diag, sub []float64) ([]float64, []float64, error) {
+	n := len(diag)
+	d := make([]float64, n)
+	e := make([]float64, n)
+	copy(d, diag)
+	for i := 0; i < n-1; i++ {
+		e[i+1] = sub[i]
+	}
+	z := identity(n)
+	if err := tqli(d, e, n, z); err != nil {
+		return nil, nil, err
+	}
+	return d, z, nil
+}
+
+// JacobiEigen diagonalizes a dense symmetric matrix (row-major n x n) with
+// the cyclic Jacobi method. It returns eigenvalues (unsorted) and the
+// row-major eigenvector matrix (column k for eigenvalue k). Intended for
+// modest n in tests and the SDP baseline.
+func JacobiEigen(a []float64, n int) ([]float64, []float64, error) {
+	m := make([]float64, len(a))
+	copy(m, a)
+	v := identity(n)
+	for sweep := 0; sweep < 100; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m[i*n+j] * m[i*n+j]
+			}
+		}
+		if off < 1e-22 {
+			d := make([]float64, n)
+			for i := 0; i < n; i++ {
+				d[i] = m[i*n+i]
+			}
+			return d, v, nil
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m[p*n+q]
+				if math.Abs(apq) < 1e-18 {
+					continue
+				}
+				app, aqq := m[p*n+p], m[q*n+q]
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for k := 0; k < n; k++ {
+					akp, akq := m[k*n+p], m[k*n+q]
+					m[k*n+p] = c*akp - s*akq
+					m[k*n+q] = s*akp + c*akq
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := m[p*n+k], m[q*n+k]
+					m[p*n+k] = c*apk - s*aqk
+					m[q*n+k] = s*apk + c*aqk
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v[k*n+p], v[k*n+q]
+					v[k*n+p] = c*vkp - s*vkq
+					v[k*n+q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	return nil, nil, errors.New("linalg: Jacobi failed to converge")
+}
+
+// MinEigDense returns the minimal eigenvalue and its eigenvector of a dense
+// symmetric matrix via Jacobi.
+func MinEigDense(a []float64, n int) (float64, []float64, error) {
+	d, v, err := JacobiEigen(a, n)
+	if err != nil {
+		return 0, nil, err
+	}
+	k := 0
+	for i := 1; i < n; i++ {
+		if d[i] < d[k] {
+			k = i
+		}
+	}
+	vec := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vec[i] = v[i*n+k]
+	}
+	return d[k], vec, nil
+}

@@ -1,0 +1,269 @@
+package linalg
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/vqmc-scale/parvqmc/internal/rng"
+)
+
+// randSPD builds a random symmetric positive definite matrix A = B^T B + I.
+func randSPD(r *rng.Rand, n int) []float64 {
+	b := make([]float64, n*n)
+	r.FillUniform(b, -1, 1)
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += b[k*n+i] * b[k*n+j]
+			}
+			a[i*n+j] = s
+		}
+		a[i*n+i] += 1
+	}
+	return a
+}
+
+func denseMV(a []float64, n int) MatVec {
+	return func(v, out []float64) {
+		for i := 0; i < n; i++ {
+			var s float64
+			for j := 0; j < n; j++ {
+				s += a[i*n+j] * v[j]
+			}
+			out[i] = s
+		}
+	}
+}
+
+func TestCGSolvesSPD(t *testing.T) {
+	r := rng.New(1)
+	for _, n := range []int{1, 2, 5, 20, 50} {
+		a := randSPD(r, n)
+		xTrue := make([]float64, n)
+		r.FillUniform(xTrue, -1, 1)
+		b := make([]float64, n)
+		denseMV(a, n)(xTrue, b)
+		x := make([]float64, n)
+		res := CG(denseMV(a, n), b, x, 1e-12, 10*n)
+		if !res.Converged {
+			t.Fatalf("n=%d CG did not converge: %+v", n, res)
+		}
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-6 {
+				t.Fatalf("n=%d x[%d]=%v want %v", n, i, x[i], xTrue[i])
+			}
+		}
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	a := []float64{2, 0, 0, 3}
+	x := []float64{5, -7}
+	res := CG(denseMV(a, 2), []float64{0, 0}, x, 1e-10, 10)
+	if !res.Converged || x[0] != 0 || x[1] != 0 {
+		t.Fatalf("zero RHS: x=%v res=%+v", x, res)
+	}
+}
+
+func TestCGWarmStart(t *testing.T) {
+	r := rng.New(2)
+	n := 10
+	a := randSPD(r, n)
+	b := make([]float64, n)
+	r.FillUniform(b, -1, 1)
+	cold := make([]float64, n)
+	CG(denseMV(a, n), b, cold, 1e-12, 100)
+	// Warm start from the exact answer should converge immediately.
+	warm := make([]float64, n)
+	copy(warm, cold)
+	res := CG(denseMV(a, n), b, warm, 1e-10, 100)
+	if res.Iterations > 1 {
+		t.Fatalf("warm start took %d iterations", res.Iterations)
+	}
+}
+
+func TestTridiagEigenKnown(t *testing.T) {
+	// Tridiagonal [[2,-1,0],[-1,2,-1],[0,-1,2]] has eigenvalues 2-sqrt2, 2, 2+sqrt2.
+	d, _, err := TridiagEigen([]float64{2, 2, 2}, []float64{-1, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Float64s(d)
+	want := []float64{2 - math.Sqrt2, 2, 2 + math.Sqrt2}
+	for i := range want {
+		if math.Abs(d[i]-want[i]) > 1e-10 {
+			t.Fatalf("eigenvalues %v, want %v", d, want)
+		}
+	}
+}
+
+func TestTridiagEigenVectors(t *testing.T) {
+	diag := []float64{1, -2, 0.5, 3}
+	sub := []float64{0.3, -0.7, 1.1}
+	d, z, err := TridiagEigen(diag, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(diag)
+	// Verify A z_k = d_k z_k.
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			var av float64
+			av += diag[i] * z[i*n+k]
+			if i > 0 {
+				av += sub[i-1] * z[(i-1)*n+k]
+			}
+			if i < n-1 {
+				av += sub[i] * z[(i+1)*n+k]
+			}
+			if math.Abs(av-d[k]*z[i*n+k]) > 1e-9 {
+				t.Fatalf("eigenpair %d violates A z = lambda z at row %d", k, i)
+			}
+		}
+	}
+}
+
+func TestJacobiEigenAgainstKnown(t *testing.T) {
+	// [[2,1],[1,2]] -> 1, 3.
+	d, _, err := JacobiEigen([]float64{2, 1, 1, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Float64s(d)
+	if math.Abs(d[0]-1) > 1e-10 || math.Abs(d[1]-3) > 1e-10 {
+		t.Fatalf("eigenvalues %v, want [1 3]", d)
+	}
+}
+
+func TestJacobiEigenpairs(t *testing.T) {
+	r := rng.New(3)
+	n := 12
+	a := randSPD(r, n)
+	d, v, err := JacobiEigen(a, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			var av float64
+			for j := 0; j < n; j++ {
+				av += a[i*n+j] * v[j*n+k]
+			}
+			if math.Abs(av-d[k]*v[i*n+k]) > 1e-8 {
+				t.Fatalf("Jacobi eigenpair %d invalid", k)
+			}
+		}
+	}
+	// Eigenvectors orthonormal.
+	for k := 0; k < n; k++ {
+		for l := k; l < n; l++ {
+			var s float64
+			for i := 0; i < n; i++ {
+				s += v[i*n+k] * v[i*n+l]
+			}
+			want := 0.0
+			if k == l {
+				want = 1.0
+			}
+			if math.Abs(s-want) > 1e-9 {
+				t.Fatalf("eigenvectors not orthonormal: <%d,%d> = %v", k, l, s)
+			}
+		}
+	}
+}
+
+func TestLanczosMinMatchesJacobi(t *testing.T) {
+	r := rng.New(4)
+	for _, n := range []int{4, 10, 30} {
+		a := randSPD(r, n)
+		// Make it indefinite to exercise the general case.
+		for i := 0; i < n; i++ {
+			a[i*n+i] -= 3
+		}
+		want, _, err := MinEigDense(a, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := LanczosMin(denseMV(a, n), n, nil, n, 1e-10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Eigenvalue-want) > 1e-7 {
+			t.Fatalf("n=%d Lanczos %v vs Jacobi %v", n, res.Eigenvalue, want)
+		}
+		// Residual check on the eigenvector.
+		av := make([]float64, n)
+		denseMV(a, n)(res.Eigenvector, av)
+		for i := range av {
+			if math.Abs(av[i]-res.Eigenvalue*res.Eigenvector[i]) > 1e-6 {
+				t.Fatalf("n=%d eigenvector residual too large at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestLanczosDiagonalMatrix(t *testing.T) {
+	// Diagonal matrix: minimal eigenvalue is the smallest entry.
+	n := 16
+	diag := make([]float64, n)
+	r := rng.New(5)
+	r.FillUniform(diag, -5, 5)
+	mv := func(v, out []float64) {
+		for i := range v {
+			out[i] = diag[i] * v[i]
+		}
+	}
+	res, err := LanczosMin(mv, n, nil, n, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minD := diag[0]
+	for _, d := range diag {
+		if d < minD {
+			minD = d
+		}
+	}
+	if math.Abs(res.Eigenvalue-minD) > 1e-8 {
+		t.Fatalf("Lanczos %v, want %v", res.Eigenvalue, minD)
+	}
+}
+
+func TestLanczosBadInput(t *testing.T) {
+	mv := func(v, out []float64) { copy(out, v) }
+	if _, err := LanczosMin(mv, 4, nil, 1, 1e-8); err == nil {
+		t.Fatal("maxKrylov=1 should error")
+	}
+	if _, err := LanczosMin(mv, 4, []float64{0, 0, 0, 0}, 4, 1e-8); err == nil {
+		t.Fatal("zero start vector should error")
+	}
+}
+
+func BenchmarkCG100(b *testing.B) {
+	r := rng.New(1)
+	n := 100
+	a := randSPD(r, n)
+	rhs := make([]float64, n)
+	r.FillUniform(rhs, -1, 1)
+	mv := denseMV(a, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := make([]float64, n)
+		CG(mv, rhs, x, 1e-8, 200)
+	}
+}
+
+func BenchmarkLanczos64(b *testing.B) {
+	r := rng.New(1)
+	n := 64
+	a := randSPD(r, n)
+	mv := denseMV(a, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LanczosMin(mv, n, nil, 30, 1e-8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

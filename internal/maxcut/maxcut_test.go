@@ -1,0 +1,138 @@
+package maxcut
+
+import (
+	"testing"
+
+	"github.com/vqmc-scale/parvqmc/internal/graph"
+	"github.com/vqmc-scale/parvqmc/internal/hamiltonian"
+	"github.com/vqmc-scale/parvqmc/internal/rng"
+)
+
+func exhaustiveMaxCut(g *graph.Graph) float64 {
+	x := make([]int, g.N)
+	best := 0.0
+	for ix := 0; ix < 1<<uint(g.N); ix++ {
+		hamiltonian.IndexToBits(ix, x)
+		if c := g.CutValue(x); c > best {
+			best = c
+		}
+	}
+	return best
+}
+
+func TestRandomCutNearHalf(t *testing.T) {
+	r := rng.New(1)
+	g := graph.RandomBernoulli(100, r)
+	var total float64
+	const runs = 50
+	for i := 0; i < runs; i++ {
+		total += Random(g, r).Cut
+	}
+	mean := total / runs
+	want := g.TotalWeight() / 2
+	if mean < 0.93*want || mean > 1.07*want {
+		t.Fatalf("random cut mean %v, want ~%v", mean, want)
+	}
+}
+
+func TestGWBeatsRandomAndRespectsOptimum(t *testing.T) {
+	r := rng.New(2)
+	g := graph.RandomBernoulli(14, r)
+	opt := exhaustiveMaxCut(g)
+	res := GoemansWilliamson(g, GWConfig{}, r)
+	if res.Cut > opt {
+		t.Fatalf("GW cut %v exceeds optimum %v", res.Cut, opt)
+	}
+	// GW guarantee is 0.878 * SDP >= 0.878 * OPT in expectation; with 50
+	// roundings on a small graph it should do much better than random.
+	if res.Cut < 0.878*opt {
+		t.Fatalf("GW cut %v below 0.878*opt (%v)", res.Cut, 0.878*opt)
+	}
+	if res.SDPBound < opt-1e-6 {
+		t.Fatalf("SDP bound %v below optimum %v", res.SDPBound, opt)
+	}
+}
+
+func TestBMFindsOptimumOnSmallGraphs(t *testing.T) {
+	for seed := uint64(3); seed < 6; seed++ {
+		r := rng.New(seed)
+		g := graph.RandomBernoulli(12, r)
+		opt := exhaustiveMaxCut(g)
+		res := BurerMonteiro(g, BMConfig{}, r)
+		if res.Cut != opt {
+			t.Fatalf("seed %d: BM cut %v, optimum %v", seed, res.Cut, opt)
+		}
+	}
+}
+
+func TestBMAtLeastGW(t *testing.T) {
+	r1, r2 := rng.New(7), rng.New(7)
+	g := graph.RandomBernoulli(20, rng.New(8))
+	gw := GoemansWilliamson(g, GWConfig{}, r1)
+	bm := BurerMonteiro(g, BMConfig{}, r2)
+	if bm.Cut < gw.Cut {
+		t.Fatalf("BM (%v) worse than GW (%v)", bm.Cut, gw.Cut)
+	}
+}
+
+func TestLocalSearchNeverDecreases(t *testing.T) {
+	r := rng.New(9)
+	g := graph.RandomBernoulli(30, r)
+	x := make([]int, g.N)
+	r.FillBits(x)
+	before := g.CutValue(x)
+	after := LocalSearch(g, x)
+	if after < before {
+		t.Fatalf("local search decreased cut: %v -> %v", before, after)
+	}
+	// 1-swap local optimality: no single flip improves.
+	for i := 0; i < g.N; i++ {
+		if flipGain(g, x, i) > 1e-9 {
+			t.Fatalf("vertex %d still has positive gain", i)
+		}
+	}
+}
+
+func TestLocalSearchReachesHalfGuarantee(t *testing.T) {
+	// A 1-swap local optimum cuts at least half the total weight.
+	r := rng.New(10)
+	g := graph.RandomBernoulli(40, r)
+	x := make([]int, g.N)
+	cut := LocalSearch(g, x) // start from all-zero (cut 0)
+	if cut < g.TotalWeight()/2 {
+		t.Fatalf("local optimum %v below W/2 = %v", cut, g.TotalWeight()/2)
+	}
+}
+
+func TestAssignmentsAreValid(t *testing.T) {
+	r := rng.New(11)
+	g := graph.RandomBernoulli(10, r)
+	for _, res := range []Result{
+		Random(g, r),
+		GoemansWilliamson(g, GWConfig{Rounds: 5, MaxIter: 50}, r),
+		BurerMonteiro(g, BMConfig{Rounds: 5, MaxIter: 20}, r),
+	} {
+		if len(res.Assignment) != g.N {
+			t.Fatal("wrong assignment length")
+		}
+		if g.CutValue(res.Assignment) != res.Cut {
+			t.Fatalf("reported cut %v != assignment cut %v", res.Cut, g.CutValue(res.Assignment))
+		}
+	}
+}
+
+func BenchmarkBurerMonteiro100(b *testing.B) {
+	g := graph.RandomBernoulli(100, rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BurerMonteiro(g, BMConfig{MaxIter: 40, Rounds: 30}, rng.New(uint64(i)))
+	}
+}
+
+func BenchmarkGoemansWilliamson100(b *testing.B) {
+	g := graph.RandomBernoulli(100, rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GoemansWilliamson(g, GWConfig{MaxIter: 200, Rounds: 30}, rng.New(uint64(i)))
+	}
+}

@@ -1,0 +1,211 @@
+// Package modelpar implements the paper's *other* parallelization avenue —
+// model parallelism (Section 4, item 1) — which the paper describes but
+// defers: "Distribute the model parameters across computing units, so that
+// each unit needs to store and update a small part of the model."
+//
+// The MADE hidden layer is sharded across K units: shard k owns hidden
+// units [lo_k, hi_k), i.e. rows lo:hi of W1/b1 and columns lo:hi of W2.
+// A forward pass computes each shard's hidden slice locally and all-reduces
+// the shards' partial output contributions — an n-vector per pass — so the
+// communication pattern is tied to the network architecture exactly as the
+// paper warns. The sharded model is bit-identical to the dense MADE it was
+// split from; tests enforce this.
+package modelpar
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/vqmc-scale/parvqmc/internal/comm"
+	"github.com/vqmc-scale/parvqmc/internal/device"
+	"github.com/vqmc-scale/parvqmc/internal/nn"
+	"github.com/vqmc-scale/parvqmc/internal/tensor"
+)
+
+// Shard is one unit's slice of the model: hidden units [Lo, Hi).
+type Shard struct {
+	Lo, Hi int
+	W1     *tensor.Matrix // (Hi-Lo) x n, rows Lo:Hi of the full W1
+	B1     tensor.Vector  // Hi-Lo
+	W2T    *tensor.Matrix // (Hi-Lo) x n: column slice of full W2, transposed for locality
+	M1     *tensor.Matrix // masks for the owned rows
+	M2T    *tensor.Matrix
+	// z1 is the shard's hidden pre-activation workspace.
+	z1 tensor.Vector
+}
+
+// Params returns the shard's parameter count (the paper's memory argument:
+// each unit stores ~d/K parameters).
+func (s *Shard) Params() int {
+	return s.W1.Rows*s.W1.Cols + len(s.B1) + s.W2T.Rows*s.W2T.Cols
+}
+
+// ShardedMADE is a MADE whose hidden layer is split across K shards. B2 is
+// replicated (it is only n values).
+type ShardedMADE struct {
+	n, h   int
+	Shards []*Shard
+	B2     tensor.Vector
+	group  *comm.Group
+}
+
+// Split shards an existing MADE across k units. The sharded model
+// references copies of the original weights; it computes identical outputs.
+func Split(m *nn.MADE, k int) (*ShardedMADE, error) {
+	n, h := m.NumSites(), m.Hidden()
+	if k < 1 || k > h {
+		return nil, fmt.Errorf("modelpar: shard count %d outside [1, h=%d]", k, h)
+	}
+	sm := &ShardedMADE{n: n, h: h, B2: m.B2.Clone(), group: comm.NewGroup(k)}
+	for s := 0; s < k; s++ {
+		lo := s * h / k
+		hi := (s + 1) * h / k
+		rows := hi - lo
+		sh := &Shard{Lo: lo, Hi: hi,
+			W1:  tensor.NewMatrix(rows, n),
+			B1:  tensor.NewVector(rows),
+			W2T: tensor.NewMatrix(rows, n),
+			M1:  tensor.NewMatrix(rows, n),
+			M2T: tensor.NewMatrix(rows, n),
+			z1:  tensor.NewVector(rows),
+		}
+		for r := 0; r < rows; r++ {
+			copy(sh.W1.Row(r), m.W1.Row(lo+r))
+			copy(sh.M1.Row(r), m.M1.Row(lo+r))
+			sh.B1[r] = m.B1[lo+r]
+			for j := 0; j < n; j++ {
+				sh.W2T.Set(r, j, m.W2.At(j, lo+r))
+				sh.M2T.Set(r, j, m.M2.At(j, lo+r))
+			}
+		}
+		sm.Shards = append(sm.Shards, sh)
+	}
+	return sm, nil
+}
+
+// NumSites returns n.
+func (sm *ShardedMADE) NumSites() int { return sm.n }
+
+// Hidden returns the full hidden width h.
+func (sm *ShardedMADE) Hidden() int { return sm.h }
+
+// K returns the shard count.
+func (sm *ShardedMADE) K() int { return len(sm.Shards) }
+
+// forwardShard computes the shard's hidden slice for input x and
+// accumulates its partial output contribution into partial (length n).
+func (sh *Shard) forwardShard(xf tensor.Vector, partial tensor.Vector) {
+	rows := sh.Hi - sh.Lo
+	n := len(xf)
+	for r := 0; r < rows; r++ {
+		w := sh.W1.Row(r)
+		mk := sh.M1.Row(r)
+		var z float64
+		for j := 0; j < n; j++ {
+			z += w[j] * mk[j] * xf[j]
+		}
+		z += sh.B1[r]
+		sh.z1[r] = z
+		if z > 0 { // ReLU
+			wt := sh.W2T.Row(r)
+			mt := sh.M2T.Row(r)
+			for j := 0; j < n; j++ {
+				partial[j] += wt[j] * mt[j] * z
+			}
+		}
+	}
+}
+
+// ForwardSerial computes output pre-activations z2 by visiting shards
+// serially — the reference implementation used to validate the collective
+// path.
+func (sm *ShardedMADE) ForwardSerial(x []int, z2 tensor.Vector) {
+	xf := tensor.NewVector(sm.n)
+	for i, b := range x {
+		xf[i] = float64(b)
+	}
+	copy(z2, sm.B2)
+	for _, sh := range sm.Shards {
+		sh.forwardShard(xf, z2)
+	}
+}
+
+// Forward computes z2 with one goroutine per shard and a real ring
+// all-reduce of the partial activations — the model-parallel communication
+// pattern. The result is identical to ForwardSerial up to floating-point
+// summation order; tests bound the difference.
+func (sm *ShardedMADE) Forward(x []int, z2 tensor.Vector) {
+	k := sm.K()
+	xf := tensor.NewVector(sm.n)
+	for i, b := range x {
+		xf[i] = float64(b)
+	}
+	partials := make([]tensor.Vector, k)
+	var wg sync.WaitGroup
+	wg.Add(k)
+	for s := 0; s < k; s++ {
+		go func(s int) {
+			defer wg.Done()
+			p := tensor.NewVector(sm.n)
+			if s == 0 {
+				copy(p, sm.B2) // exactly one shard contributes the bias
+			}
+			sm.Shards[s].forwardShard(xf, p)
+			sm.group.Rank(s).AllReduceSum(p)
+			partials[s] = p
+		}(s)
+	}
+	wg.Wait()
+	copy(z2, partials[0])
+}
+
+// LogProb evaluates log pi(x) through the collective forward pass.
+func (sm *ShardedMADE) LogProb(x []int) float64 {
+	z2 := tensor.NewVector(sm.n)
+	sm.Forward(x, z2)
+	var lp float64
+	for j, b := range x {
+		if b == 1 {
+			lp += logSigmoid(z2[j])
+		} else {
+			lp += logSigmoid(-z2[j])
+		}
+	}
+	return lp
+}
+
+func logSigmoid(z float64) float64 {
+	if z < -35 {
+		return z
+	}
+	return -math.Log1p(math.Exp(-z))
+}
+
+// CommCost characterizes the communication volume of the two
+// parallelization avenues for one training iteration, the trade-off the
+// paper sketches in Section 4.
+type CommCost struct {
+	// ModelParallelFloats: sampling bit i needs only output i, so each of
+	// the n sequential steps all-reduces one scalar per sample (n*bs
+	// floats total), plus one full-output all-reduce (n*bs) for the
+	// gradient pass.
+	ModelParallelFloats int64
+	// DataParallelFloats: one d-vector gradient all-reduce per iteration.
+	DataParallelFloats int64
+}
+
+// IterationCommCost returns the per-iteration communication volumes for a
+// MADE of size (n, h) at batch bs. At production batch sizes the
+// model-parallel activation traffic dominates the single gradient
+// all-reduce — and it is latency-bound (n sequential rounds) — which is why
+// the paper parallelizes sampling instead; at tiny batches the ordering
+// flips, which is when model parallelism becomes the only way to fit the
+// model.
+func IterationCommCost(n, h, bs int) CommCost {
+	d := int64(device.MADEParams(n, h))
+	return CommCost{
+		ModelParallelFloats: 2 * int64(n) * int64(bs),
+		DataParallelFloats:  d,
+	}
+}

@@ -1,0 +1,203 @@
+package modelpar
+
+import (
+	"math"
+	"testing"
+
+	"github.com/vqmc-scale/parvqmc/internal/nn"
+	"github.com/vqmc-scale/parvqmc/internal/rng"
+	"github.com/vqmc-scale/parvqmc/internal/tensor"
+)
+
+func TestSplitValidation(t *testing.T) {
+	m := nn.NewMADE(6, 8, rng.New(1))
+	if _, err := Split(m, 0); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	if _, err := Split(m, 9); err == nil {
+		t.Fatal("k > h should error")
+	}
+	sm, err := Split(m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.K() != 3 || sm.NumSites() != 6 || sm.Hidden() != 8 {
+		t.Fatalf("accessors wrong: %d %d %d", sm.K(), sm.NumSites(), sm.Hidden())
+	}
+}
+
+func TestShardsPartitionHiddenUnits(t *testing.T) {
+	m := nn.NewMADE(5, 11, rng.New(2))
+	sm, err := Split(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := 0
+	last := 0
+	for _, sh := range sm.Shards {
+		if sh.Lo != last || sh.Hi <= sh.Lo {
+			t.Fatalf("shard bounds broken: [%d,%d) after %d", sh.Lo, sh.Hi, last)
+		}
+		covered += sh.Hi - sh.Lo
+		last = sh.Hi
+	}
+	if covered != 11 {
+		t.Fatalf("shards cover %d hidden units, want 11", covered)
+	}
+}
+
+func TestShardMemoryIsFraction(t *testing.T) {
+	// The paper's memory argument: each unit stores ~d/K parameters.
+	m := nn.NewMADE(50, 40, rng.New(3))
+	sm, err := Split(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := m.NumParams()
+	for _, sh := range sm.Shards {
+		frac := float64(sh.Params()) / float64(full)
+		if frac > 0.30 { // 1/K = 0.25 plus a little slack
+			t.Fatalf("shard holds %.0f%% of parameters, want ~25%%", 100*frac)
+		}
+	}
+}
+
+func TestSerialForwardMatchesFullModel(t *testing.T) {
+	r := rng.New(4)
+	for _, k := range []int{1, 2, 3, 5} {
+		m := nn.NewMADE(7, 10, r.Split())
+		sm, err := Split(m, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := m.NewScratch()
+		x := make([]int, 7)
+		for trial := 0; trial < 30; trial++ {
+			r.FillBits(x)
+			m.Forward(x, s)
+			z2 := tensor.NewVector(7)
+			sm.ForwardSerial(x, z2)
+			for j := range z2 {
+				if math.Abs(z2[j]-s.Z2[j]) > 1e-12 {
+					t.Fatalf("k=%d output %d: sharded %v vs full %v", k, j, z2[j], s.Z2[j])
+				}
+			}
+		}
+	}
+}
+
+func TestCollectiveForwardMatchesSerial(t *testing.T) {
+	r := rng.New(5)
+	m := nn.NewMADE(9, 12, r.Split())
+	sm, err := Split(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]int, 9)
+	for trial := 0; trial < 20; trial++ {
+		r.FillBits(x)
+		serial := tensor.NewVector(9)
+		sm.ForwardSerial(x, serial)
+		collective := tensor.NewVector(9)
+		sm.Forward(x, collective)
+		for j := range serial {
+			if math.Abs(serial[j]-collective[j]) > 1e-9 {
+				t.Fatalf("collective forward diverged at %d: %v vs %v",
+					j, collective[j], serial[j])
+			}
+		}
+	}
+}
+
+func TestLogProbMatchesFullModel(t *testing.T) {
+	r := rng.New(6)
+	m := nn.NewMADE(8, 9, r.Split())
+	sm, err := Split(m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]int, 8)
+	for trial := 0; trial < 20; trial++ {
+		r.FillBits(x)
+		if diff := math.Abs(sm.LogProb(x) - m.LogProb(x)); diff > 1e-9 {
+			t.Fatalf("sharded LogProb differs by %v", diff)
+		}
+	}
+}
+
+func TestShardedPreservesAutoregressiveProperty(t *testing.T) {
+	// Sharding must not break masking: output j independent of inputs >= j.
+	r := rng.New(7)
+	m := nn.NewMADE(6, 8, r.Split())
+	sm, err := Split(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]int, 6)
+	y := make([]int, 6)
+	for trial := 0; trial < 50; trial++ {
+		r.FillBits(x)
+		copy(y, x)
+		j := r.Intn(6)
+		for i := j; i < 6; i++ {
+			y[i] = r.Bit()
+		}
+		zx := tensor.NewVector(6)
+		zy := tensor.NewVector(6)
+		sm.ForwardSerial(x, zx)
+		sm.ForwardSerial(y, zy)
+		if zx[j] != zy[j] {
+			t.Fatalf("sharded output %d depends on inputs >= %d", j, j)
+		}
+	}
+}
+
+func TestIterationCommCostTradeoff(t *testing.T) {
+	// The paper's qualitative claim: data-parallel communication is one
+	// gradient per iteration, while model parallelism communicates
+	// activations on every sequential sampling step — far more volume at
+	// large batch.
+	c := IterationCommCost(1000, 424, 4096)
+	if c.ModelParallelFloats <= c.DataParallelFloats {
+		t.Fatalf("expected model-parallel volume (%d) to dominate data-parallel (%d) at bs=4096",
+			c.ModelParallelFloats, c.DataParallelFloats)
+	}
+	// At tiny batch the gradient all-reduce dominates instead: model
+	// parallelism becomes attractive exactly when the model no longer fits
+	// on one device and batches are small.
+	tiny := IterationCommCost(10000, 500, 4)
+	if tiny.DataParallelFloats <= tiny.ModelParallelFloats {
+		t.Fatalf("expected gradient volume (%d) to dominate at bs=4 (%d)",
+			tiny.DataParallelFloats, tiny.ModelParallelFloats)
+	}
+}
+
+func BenchmarkShardedForward4(b *testing.B) {
+	m := nn.NewMADE(100, 107, rng.New(1))
+	sm, err := Split(m, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]int, 100)
+	rng.New(2).FillBits(x)
+	z2 := tensor.NewVector(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sm.Forward(x, z2)
+	}
+}
+
+func BenchmarkShardedForwardSerial(b *testing.B) {
+	m := nn.NewMADE(100, 107, rng.New(1))
+	sm, err := Split(m, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]int, 100)
+	rng.New(2).FillBits(x)
+	z2 := tensor.NewVector(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sm.ForwardSerial(x, z2)
+	}
+}

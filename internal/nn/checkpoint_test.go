@@ -1,0 +1,112 @@
+package nn
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"github.com/vqmc-scale/parvqmc/internal/rng"
+	"github.com/vqmc-scale/parvqmc/internal/tensor"
+)
+
+func TestCheckpointRoundTripMADE(t *testing.T) {
+	r := rng.New(1)
+	m := NewMADE(9, 7, r)
+	// Move parameters off their init values.
+	for i := range m.Params() {
+		m.Params()[i] += r.Uniform(-1, 1)
+	}
+	var buf bytes.Buffer
+	if err := SaveWavefunction(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	wf, err := LoadWavefunction(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, ok := wf.(*MADE)
+	if !ok {
+		t.Fatalf("loaded %T, want *MADE", wf)
+	}
+	if m2.NumSites() != 9 || m2.Hidden() != 7 {
+		t.Fatalf("shape lost: n=%d h=%d", m2.NumSites(), m2.Hidden())
+	}
+	x := make([]int, 9)
+	for trial := 0; trial < 20; trial++ {
+		r.FillBits(x)
+		if m.LogProb(x) != m2.LogProb(x) {
+			t.Fatal("loaded model disagrees with original")
+		}
+	}
+}
+
+func TestCheckpointRoundTripRBM(t *testing.T) {
+	r := rng.New(2)
+	m := NewRBM(6, 11, r)
+	var buf bytes.Buffer
+	if err := SaveWavefunction(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	wf, err := LoadWavefunction(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, ok := wf.(*RBM)
+	if !ok {
+		t.Fatalf("loaded %T, want *RBM", wf)
+	}
+	x := make([]int, 6)
+	for trial := 0; trial < 20; trial++ {
+		r.FillBits(x)
+		if m.LogPsi(x) != m2.LogPsi(x) {
+			t.Fatal("loaded RBM disagrees with original")
+		}
+	}
+}
+
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.pvq")
+	m := NewMADE(5, 4, rng.New(3))
+	if err := SaveFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	wf, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wf.NumParams() != m.NumParams() {
+		t.Fatal("param count lost")
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	if _, err := LoadWavefunction(bytes.NewReader([]byte("NOPE0000"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Truncated payload.
+	m := NewMADE(4, 3, rng.New(4))
+	var buf bytes.Buffer
+	if err := SaveWavefunction(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-7]
+	if _, err := LoadWavefunction(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+}
+
+func TestCheckpointUnknownType(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveWavefunction(&buf, fakeWavefunction{}); err == nil {
+		t.Fatal("unknown wavefunction type accepted")
+	}
+}
+
+type fakeWavefunction struct{}
+
+func (fakeWavefunction) NumSites() int                       { return 1 }
+func (fakeWavefunction) NumParams() int                      { return 1 }
+func (fakeWavefunction) Params() tensor.Vector               { return tensor.Vector{0} }
+func (fakeWavefunction) LogPsi(x []int) float64              { return 0 }
+func (fakeWavefunction) GradLogPsi(x []int, g tensor.Vector) {}

@@ -1,0 +1,352 @@
+package nn
+
+import (
+	"math"
+
+	"github.com/vqmc-scale/parvqmc/internal/rng"
+	"github.com/vqmc-scale/parvqmc/internal/tensor"
+)
+
+// MADE is the masked autoencoder for distribution estimation (Germain et
+// al.) used as an autoregressive neural quantum state, matching the paper's
+// architecture:
+//
+//	Input -> MaskedFC1 -> ReLU -> MaskedFC2 -> Sigmoid -> Output
+//
+// with a single hidden layer of width h. Output j is the conditional
+// probability p_j = P(x_j = 1 | x_0..x_{j-1}); the masks enforce that p_j
+// depends only on earlier inputs (natural ordering). The model represents
+// the non-negative wavefunction psi(x) = sqrt(pi(x)).
+//
+// Parameter count d = 2hn + h + n, laid out [W1 | b1 | W2 | b2] in one flat
+// vector; the matrix and bias views alias that vector.
+type MADE struct {
+	n, h  int
+	theta tensor.Vector
+	// Layer views into theta.
+	W1 *tensor.Matrix // h x n
+	B1 tensor.Vector  // h
+	W2 *tensor.Matrix // n x h
+	B2 tensor.Vector  // n
+	// Binary masks (not trained).
+	M1 *tensor.Matrix // h x n: M1[k][i] = 1 iff deg(k) >= i+1
+	M2 *tensor.Matrix // n x h: M2[j][k] = 1 iff j+1 > deg(k)
+	// deg[k] in 1..n-1 is the hidden unit's autoregressive degree.
+	deg []int
+}
+
+// MADEScratch holds per-worker forward/backward buffers so concurrent
+// evaluation never shares mutable state.
+type MADEScratch struct {
+	Z1, A   tensor.Vector // hidden pre-activation and activation (h)
+	Z2      tensor.Vector // output pre-activation (n)
+	dZ2     tensor.Vector // n
+	dA      tensor.Vector // h
+	xf      tensor.Vector // float copy of input bits (n)
+	flipBuf []int         // n, scratch configuration for flip evaluation
+}
+
+// NewMADE builds a MADE with n input sites and hidden width h, with masks
+// assigned deterministically (degrees cycle through 1..n-1) and weights
+// initialized U(-1/sqrt(fan-in), +1/sqrt(fan-in)) from r.
+func NewMADE(n, h int, r *rng.Rand) *MADE {
+	if n < 1 || h < 1 {
+		panic("nn: MADE requires n >= 1 and h >= 1")
+	}
+	d := 2*h*n + h + n
+	theta := tensor.NewVector(d)
+	m := &MADE{n: n, h: h, theta: theta}
+	off := 0
+	m.W1 = &tensor.Matrix{Rows: h, Cols: n, Data: theta[off : off+h*n]}
+	off += h * n
+	m.B1 = theta[off : off+h]
+	off += h
+	m.W2 = &tensor.Matrix{Rows: n, Cols: h, Data: theta[off : off+n*h]}
+	off += n * h
+	m.B2 = theta[off : off+n]
+
+	// Hidden degrees cycle 1..n-1 (n=1 degenerates to all-zero masks and a
+	// bias-only model, which is still the correct autoregressive family).
+	m.deg = make([]int, h)
+	m.M1 = tensor.NewMatrix(h, n)
+	m.M2 = tensor.NewMatrix(n, h)
+	for k := 0; k < h; k++ {
+		if n > 1 {
+			m.deg[k] = 1 + k%(n-1)
+		}
+		for i := 0; i < n; i++ {
+			if m.deg[k] >= i+1 {
+				m.M1.Set(k, i, 1)
+			}
+		}
+		for j := 0; j < n; j++ {
+			if j+1 > m.deg[k] && m.deg[k] > 0 {
+				m.M2.Set(j, k, 1)
+			}
+		}
+	}
+
+	uniformInit(m.W1.Data, n, r)
+	uniformInit(m.B1, n, r)
+	uniformInit(m.W2.Data, h, r)
+	uniformInit(m.B2, h, r)
+	return m
+}
+
+// NewScratch allocates evaluation buffers for one worker.
+func (m *MADE) NewScratch() *MADEScratch {
+	return &MADEScratch{
+		Z1:      tensor.NewVector(m.h),
+		A:       tensor.NewVector(m.h),
+		Z2:      tensor.NewVector(m.n),
+		dZ2:     tensor.NewVector(m.n),
+		dA:      tensor.NewVector(m.h),
+		xf:      tensor.NewVector(m.n),
+		flipBuf: make([]int, m.n),
+	}
+}
+
+// NumSites implements Wavefunction.
+func (m *MADE) NumSites() int { return m.n }
+
+// Hidden returns the hidden-layer width h.
+func (m *MADE) Hidden() int { return m.h }
+
+// NumParams implements Wavefunction.
+func (m *MADE) NumParams() int { return len(m.theta) }
+
+// Params implements Wavefunction; the returned vector aliases the model.
+func (m *MADE) Params() tensor.Vector { return m.theta }
+
+// Forward runs the masked network on x, filling s.Z1, s.A and s.Z2.
+// Output probabilities are sigma(s.Z2) but are not materialized; the
+// log-probability path works on pre-activations for numerical stability.
+func (m *MADE) Forward(x []int, s *MADEScratch) {
+	for i, b := range x {
+		s.xf[i] = float64(b)
+	}
+	m.W1.MaskedMulVec(s.Z1, s.xf, m.M1)
+	s.Z1.Add(m.B1)
+	copy(s.A, s.Z1)
+	tensor.ReLU(s.A)
+	m.W2.MaskedMulVec(s.Z2, s.A, m.M2)
+	s.Z2.Add(m.B2)
+}
+
+// logProbFromZ2 computes log pi(x) = sum_j [x_j ln p_j + (1-x_j) ln(1-p_j)]
+// from output pre-activations.
+func logProbFromZ2(x []int, z2 tensor.Vector) float64 {
+	var lp float64
+	for j, b := range x {
+		if b == 1 {
+			lp += logSigmoid(z2[j])
+		} else {
+			lp += logSigmoid(-z2[j])
+		}
+	}
+	return lp
+}
+
+// LogProbScratch evaluates log pi(x) using caller-owned buffers.
+func (m *MADE) LogProbScratch(x []int, s *MADEScratch) float64 {
+	m.Forward(x, s)
+	return logProbFromZ2(x, s.Z2)
+}
+
+// LogProb implements Normalized. It allocates scratch; hot paths should use
+// LogProbScratch with a per-worker scratch.
+func (m *MADE) LogProb(x []int) float64 {
+	return m.LogProbScratch(x, m.NewScratch())
+}
+
+// LogPsi implements Wavefunction: log psi = (1/2) log pi.
+func (m *MADE) LogPsi(x []int) float64 { return 0.5 * m.LogProb(x) }
+
+// LogPsiScratch is the buffer-reusing variant of LogPsi.
+func (m *MADE) LogPsiScratch(x []int, s *MADEScratch) float64 {
+	return 0.5 * m.LogProbScratch(x, s)
+}
+
+// Conditional implements Autoregressive: P(x_i = 1 | x_<i). Bits at
+// positions >= i are ignored by masking.
+func (m *MADE) Conditional(x []int, i int) float64 {
+	return m.ConditionalScratch(x, i, m.NewScratch())
+}
+
+// ConditionalScratch is the buffer-reusing variant of Conditional.
+func (m *MADE) ConditionalScratch(x []int, i int, s *MADEScratch) float64 {
+	m.Forward(x, s)
+	return 1 / (1 + math.Exp(-s.Z2[i]))
+}
+
+// ConditionalRow computes P(x_i = 1 | x_<i) in O(h) given hidden
+// pre-activations z1 that already reflect x_<i (the incremental sampling
+// fast path used by NewIncrementalEvaluator).
+func (m *MADE) ConditionalRow(z1 tensor.Vector, i int) float64 {
+	row := m.W2.Row(i)
+	mrow := m.M2.Row(i)
+	z := m.B2[i]
+	for k, w := range row {
+		if mrow[k] != 0 {
+			a := z1[k]
+			if a > 0 {
+				z += w * a
+			}
+		}
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+// AccumulateInput adds bit i's contribution to the hidden pre-activation
+// vector z1 (incremental sampling fast path). z1 must start as a copy of B1.
+func (m *MADE) AccumulateInput(z1 tensor.Vector, i, bit int) {
+	if bit == 0 {
+		return
+	}
+	for k := 0; k < m.h; k++ {
+		if m.M1.At(k, i) != 0 {
+			z1[k] += m.W1.At(k, i)
+		}
+	}
+}
+
+// GradLogProbScratch accumulates d log pi / d theta into grad (overwritten).
+func (m *MADE) GradLogProbScratch(x []int, grad tensor.Vector, s *MADEScratch) {
+	if len(grad) != m.NumParams() {
+		panic("nn: gradient buffer has wrong length")
+	}
+	m.Forward(x, s)
+	// dlogpi/dz2_j = x_j - sigma(z2_j).
+	for j, b := range x {
+		s.dZ2[j] = float64(b) - 1/(1+math.Exp(-s.Z2[j]))
+	}
+	// dA = (M2 .* W2)^T dZ2.
+	for k := range s.dA {
+		s.dA[k] = 0
+	}
+	for j := 0; j < m.n; j++ {
+		dj := s.dZ2[j]
+		if dj == 0 {
+			continue
+		}
+		row := m.W2.Row(j)
+		mrow := m.M2.Row(j)
+		for k := range row {
+			if mrow[k] != 0 {
+				s.dA[k] += row[k] * dj
+			}
+		}
+	}
+	// Views into grad with the same layout as theta.
+	h, n := m.h, m.n
+	gW1 := grad[0 : h*n]
+	gB1 := grad[h*n : h*n+h]
+	gW2 := grad[h*n+h : h*n+h+n*h]
+	gB2 := grad[h*n+h+n*h:]
+	// Output layer.
+	for j := 0; j < n; j++ {
+		dj := s.dZ2[j]
+		gB2[j] = dj
+		base := j * h
+		mrow := m.M2.Row(j)
+		for k := 0; k < h; k++ {
+			if mrow[k] != 0 {
+				gW2[base+k] = dj * s.A[k]
+			} else {
+				gW2[base+k] = 0
+			}
+		}
+	}
+	// Hidden layer through ReLU.
+	for k := 0; k < h; k++ {
+		dz1 := s.dA[k]
+		if s.Z1[k] <= 0 {
+			dz1 = 0
+		}
+		gB1[k] = dz1
+		base := k * n
+		mrow := m.M1.Row(k)
+		for i := 0; i < n; i++ {
+			if mrow[i] != 0 && x[i] == 1 {
+				gW1[base+i] = dz1
+			} else {
+				gW1[base+i] = 0
+			}
+		}
+	}
+}
+
+// GradLogPsi implements Wavefunction: grad log psi = (1/2) grad log pi.
+func (m *MADE) GradLogPsi(x []int, grad tensor.Vector) {
+	m.GradLogPsiScratch(x, grad, m.NewScratch())
+}
+
+// GradLogPsiScratch is the buffer-reusing variant of GradLogPsi.
+func (m *MADE) GradLogPsiScratch(x []int, grad tensor.Vector, s *MADEScratch) {
+	m.GradLogProbScratch(x, grad, s)
+	grad.Scale(0.5)
+}
+
+// NewFlipCache implements CacheBuilder with a generic recompute-on-flip
+// cache: each Delta costs one O(hn) forward pass, in contrast to the RBM's
+// O(h) cache. This asymmetry is why the paper pairs MADE with exact
+// sampling rather than MCMC.
+func (m *MADE) NewFlipCache(x []int) FlipCache {
+	c := &madeFlipCache{m: m, s: m.NewScratch(), x: make([]int, m.n)}
+	copy(c.x, x)
+	c.logPsi = m.LogPsiScratch(c.x, c.s)
+	return c
+}
+
+type madeFlipCache struct {
+	m      *MADE
+	s      *MADEScratch
+	x      []int
+	logPsi float64
+}
+
+func (c *madeFlipCache) LogPsi() float64 { return c.logPsi }
+
+func (c *madeFlipCache) Delta(bit int) float64 {
+	copy(c.s.flipBuf, c.x)
+	c.s.flipBuf[bit] = 1 - c.s.flipBuf[bit]
+	return c.m.LogPsiScratch(c.s.flipBuf, c.s) - c.logPsi
+}
+
+func (c *madeFlipCache) Flip(bit int) {
+	c.x[bit] = 1 - c.x[bit]
+	c.logPsi = c.m.LogPsiScratch(c.x, c.s)
+}
+
+func (c *madeFlipCache) State() []int { return c.x }
+
+func (c *madeFlipCache) Reset(x []int) {
+	copy(c.x, x)
+	c.logPsi = c.m.LogPsiScratch(c.x, c.s)
+}
+
+// NewGradEvaluator implements GradEvaluatorBuilder.
+func (m *MADE) NewGradEvaluator() GradEvaluator {
+	return &madeGradEvaluator{m: m, s: m.NewScratch()}
+}
+
+type madeGradEvaluator struct {
+	m *MADE
+	s *MADEScratch
+}
+
+func (e *madeGradEvaluator) GradLogPsi(x []int, grad tensor.Vector) {
+	e.m.GradLogPsiScratch(x, grad, e.s)
+}
+
+func (e *madeGradEvaluator) LogPsi(x []int) float64 {
+	return e.m.LogPsiScratch(x, e.s)
+}
+
+// Degrees exposes the hidden-unit degree assignment (for tests).
+func (m *MADE) Degrees() []int { return m.deg }
+
+var (
+	_ Autoregressive = (*MADE)(nil)
+	_ CacheBuilder   = (*MADE)(nil)
+)

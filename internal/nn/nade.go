@@ -1,0 +1,294 @@
+package nn
+
+import (
+	"math"
+
+	"github.com/vqmc-scale/parvqmc/internal/rng"
+	"github.com/vqmc-scale/parvqmc/internal/tensor"
+)
+
+// NADE is the neural autoregressive distribution estimator of Larochelle &
+// Murray (2011), the architecture MADE improves on (paper Section 3). One
+// shared weight matrix feeds a per-site hidden state that accumulates as
+// sites are consumed:
+//
+//	a_0 = c;   a_{i+1} = a_i + W[:,i] x_i
+//	p_i = sigma(v_i . relu(a_i) + b_i)
+//
+// Evaluation and sampling are O(nh) per configuration without any masking —
+// the accumulation makes conditionals autoregressive by construction. Like
+// MADE it is normalized, so exact (AUTO) sampling applies.
+//
+// Parameters: W (h x n), c (h), V (n x h), b (n); d = 2hn + h + n, the same
+// count as MADE at equal width.
+type NADE struct {
+	n, h  int
+	theta tensor.Vector
+	W     *tensor.Matrix // h x n, input-to-hidden accumulation weights
+	C     tensor.Vector  // h, initial hidden state
+	V     *tensor.Matrix // n x h, per-site output weights
+	B     tensor.Vector  // n, output biases
+}
+
+// NADEScratch holds per-worker evaluation buffers.
+type NADEScratch struct {
+	A    tensor.Vector // running hidden accumulator (h)
+	Relu tensor.Vector // relu(A) workspace (h)
+	// backward workspaces
+	As  *tensor.Matrix // n x h: a_i before consuming site i (for backprop)
+	dA  tensor.Vector
+	buf []int
+}
+
+// NewNADE builds a NADE with n sites and hidden width h.
+func NewNADE(n, h int, r *rng.Rand) *NADE {
+	if n < 1 || h < 1 {
+		panic("nn: NADE requires n >= 1 and h >= 1")
+	}
+	d := 2*h*n + h + n
+	theta := tensor.NewVector(d)
+	m := &NADE{n: n, h: h, theta: theta}
+	off := 0
+	m.W = &tensor.Matrix{Rows: h, Cols: n, Data: theta[off : off+h*n]}
+	off += h * n
+	m.C = theta[off : off+h]
+	off += h
+	m.V = &tensor.Matrix{Rows: n, Cols: h, Data: theta[off : off+n*h]}
+	off += n * h
+	m.B = theta[off : off+n]
+	uniformInit(m.W.Data, n, r)
+	uniformInit(m.C, n, r)
+	uniformInit(m.V.Data, h, r)
+	uniformInit(m.B, h, r)
+	return m
+}
+
+// NewScratch allocates evaluation buffers for one worker.
+func (m *NADE) NewScratch() *NADEScratch {
+	return &NADEScratch{
+		A:    tensor.NewVector(m.h),
+		Relu: tensor.NewVector(m.h),
+		As:   tensor.NewMatrix(m.n, m.h),
+		dA:   tensor.NewVector(m.h),
+		buf:  make([]int, m.n),
+	}
+}
+
+// NumSites implements Wavefunction.
+func (m *NADE) NumSites() int { return m.n }
+
+// Hidden returns the hidden width h.
+func (m *NADE) Hidden() int { return m.h }
+
+// NumParams implements Wavefunction.
+func (m *NADE) NumParams() int { return len(m.theta) }
+
+// Params implements Wavefunction.
+func (m *NADE) Params() tensor.Vector { return m.theta }
+
+// conditionalZ computes the output pre-activation for site i given the
+// current hidden accumulator.
+func (m *NADE) conditionalZ(a tensor.Vector, relu tensor.Vector, i int) float64 {
+	copy(relu, a)
+	tensor.ReLU(relu)
+	return m.V.Row(i).Dot(relu) + m.B[i]
+}
+
+// accumulate folds site i's bit into the hidden state.
+func (m *NADE) accumulate(a tensor.Vector, i, bit int) {
+	if bit == 0 {
+		return
+	}
+	for k := 0; k < m.h; k++ {
+		a[k] += m.W.At(k, i)
+	}
+}
+
+// LogProbScratch evaluates log pi(x) in O(nh).
+func (m *NADE) LogProbScratch(x []int, s *NADEScratch) float64 {
+	copy(s.A, m.C)
+	var lp float64
+	for i, b := range x {
+		z := m.conditionalZ(s.A, s.Relu, i)
+		if b == 1 {
+			lp += logSigmoid(z)
+		} else {
+			lp += logSigmoid(-z)
+		}
+		m.accumulate(s.A, i, b)
+	}
+	return lp
+}
+
+// LogProb implements Normalized.
+func (m *NADE) LogProb(x []int) float64 { return m.LogProbScratch(x, m.NewScratch()) }
+
+// LogPsi implements Wavefunction: psi = sqrt(pi).
+func (m *NADE) LogPsi(x []int) float64 { return 0.5 * m.LogProb(x) }
+
+// LogPsiScratch is the buffer-reusing variant.
+func (m *NADE) LogPsiScratch(x []int, s *NADEScratch) float64 {
+	return 0.5 * m.LogProbScratch(x, s)
+}
+
+// Conditional implements Autoregressive.
+func (m *NADE) Conditional(x []int, i int) float64 {
+	s := m.NewScratch()
+	copy(s.A, m.C)
+	for j := 0; j < i; j++ {
+		m.accumulate(s.A, j, x[j])
+	}
+	return 1 / (1 + math.Exp(-m.conditionalZ(s.A, s.Relu, i)))
+}
+
+// GradLogPsiScratch accumulates d log psi / d theta into grad (overwritten).
+// Backprop through the accumulation chain: dz_i flows to V_i, b_i and
+// relu(a_i); the hidden-state gradient is then pushed back through every
+// earlier accumulation step.
+func (m *NADE) GradLogPsiScratch(x []int, grad tensor.Vector, s *NADEScratch) {
+	if len(grad) != m.NumParams() {
+		panic("nn: gradient buffer has wrong length")
+	}
+	h, n := m.h, m.n
+	for i := range grad {
+		grad[i] = 0
+	}
+	gW := grad[0 : h*n]
+	gC := grad[h*n : h*n+h]
+	gV := grad[h*n+h : h*n+h+n*h]
+	gB := grad[h*n+h+n*h:]
+
+	// Forward, recording a_i before site i consumes its bit.
+	copy(s.A, m.C)
+	for i, b := range x {
+		copy(s.As.Row(i), s.A)
+		m.accumulate(s.A, i, b)
+	}
+	// Backward. dA accumulates gradients flowing into the hidden state
+	// from later sites' conditionals.
+	for k := range s.dA {
+		s.dA[k] = 0
+	}
+	for i := n - 1; i >= 0; i-- {
+		// The accumulation a_{i+1} = a_i + W[:,i] x_i happened after the
+		// conditional at site i, so dA currently holds d/d a_{i+1}:
+		// route it into W[:,i] before adding site i's own contribution.
+		if x[i] == 1 {
+			for k := 0; k < h; k++ {
+				gW[k*n+i] += s.dA[k]
+			}
+		}
+		ai := s.As.Row(i)
+		z := m.conditionalZ(tensor.Vector(ai), s.Relu, i) // also fills s.Relu
+		dz := float64(x[i]) - 1/(1+math.Exp(-z))
+		gB[i] += dz
+		vrow := m.V.Row(i)
+		base := i * h
+		for k := 0; k < h; k++ {
+			gV[base+k] += dz * s.Relu[k]
+			if ai[k] > 0 {
+				s.dA[k] += dz * vrow[k]
+			}
+		}
+	}
+	copy(gC, s.dA)
+	// psi = sqrt(pi): halve the log-prob gradient.
+	grad.Scale(0.5)
+}
+
+// GradLogPsi implements Wavefunction.
+func (m *NADE) GradLogPsi(x []int, grad tensor.Vector) {
+	m.GradLogPsiScratch(x, grad, m.NewScratch())
+}
+
+// NewGradEvaluator implements GradEvaluatorBuilder.
+func (m *NADE) NewGradEvaluator() GradEvaluator {
+	return &nadeGradEvaluator{m: m, s: m.NewScratch()}
+}
+
+type nadeGradEvaluator struct {
+	m *NADE
+	s *NADEScratch
+}
+
+func (e *nadeGradEvaluator) GradLogPsi(x []int, grad tensor.Vector) {
+	e.m.GradLogPsiScratch(x, grad, e.s)
+}
+
+func (e *nadeGradEvaluator) LogPsi(x []int) float64 { return e.m.LogPsiScratch(x, e.s) }
+
+// NewFlipCache implements CacheBuilder (recompute-on-flip; O(nh) per Delta).
+func (m *NADE) NewFlipCache(x []int) FlipCache {
+	c := &nadeFlipCache{m: m, s: m.NewScratch(), x: make([]int, m.n)}
+	copy(c.x, x)
+	c.logPsi = m.LogPsiScratch(c.x, c.s)
+	return c
+}
+
+type nadeFlipCache struct {
+	m      *NADE
+	s      *NADEScratch
+	x      []int
+	logPsi float64
+}
+
+func (c *nadeFlipCache) LogPsi() float64 { return c.logPsi }
+
+func (c *nadeFlipCache) Delta(bit int) float64 {
+	copy(c.s.buf, c.x)
+	c.s.buf[bit] = 1 - c.s.buf[bit]
+	return c.m.LogPsiScratch(c.s.buf, c.s) - c.logPsi
+}
+
+func (c *nadeFlipCache) Flip(bit int) {
+	c.x[bit] = 1 - c.x[bit]
+	c.logPsi = c.m.LogPsiScratch(c.x, c.s)
+}
+
+func (c *nadeFlipCache) State() []int { return c.x }
+
+func (c *nadeFlipCache) Reset(x []int) {
+	copy(c.x, x)
+	c.logPsi = c.m.LogPsiScratch(c.x, c.s)
+}
+
+// NewIncrementalEvaluator returns the natural O(h)-per-bit NADE evaluator
+// (NADE's accumulation is incremental by construction).
+func (m *NADE) NewIncrementalEvaluator() ConditionalEvaluator {
+	s := m.NewScratch()
+	e := &nadeEvaluator{m: m, s: s}
+	e.Reset()
+	return e
+}
+
+type nadeEvaluator struct {
+	m      *NADE
+	s      *NADEScratch
+	fixed  int
+	passes int64
+}
+
+func (e *nadeEvaluator) Reset() {
+	copy(e.s.A, e.m.C)
+	e.fixed = 0
+}
+
+func (e *nadeEvaluator) Prob(i int) float64 {
+	return 1 / (1 + math.Exp(-e.m.conditionalZ(e.s.A, e.s.Relu, i)))
+}
+
+func (e *nadeEvaluator) Fix(i, bit int) {
+	e.m.accumulate(e.s.A, i, bit)
+	if e.fixed++; e.fixed == e.m.n {
+		e.passes++
+	}
+}
+
+func (e *nadeEvaluator) ForwardPasses() int64 { return e.passes }
+
+var (
+	_ Autoregressive       = (*NADE)(nil)
+	_ CacheBuilder         = (*NADE)(nil)
+	_ GradEvaluatorBuilder = (*NADE)(nil)
+	_ ConditionalEvaluator = (*nadeEvaluator)(nil)
+)

@@ -1,0 +1,200 @@
+package nn
+
+import (
+	"math"
+
+	"github.com/vqmc-scale/parvqmc/internal/rng"
+	"github.com/vqmc-scale/parvqmc/internal/tensor"
+)
+
+// RBM is the restricted-Boltzmann-machine wavefunction of Carleo & Troyer,
+// matching the paper's architecture (FC -> Lncoshsum, plus a linear visible
+// term added to the output):
+//
+//	log psi(s) = sum_k ln cosh(w_k . s + c_k) + a . s + a0
+//
+// where s_i = 1-2x_i in {+1,-1} are spins. The amplitude is unnormalized,
+// so sampling pi(x) proportional to psi(x)^2 requires MCMC.
+//
+// Parameter count d = hn + h + n + 1, laid out [W | c | a | a0] in one flat
+// vector; layer views alias that vector.
+type RBM struct {
+	n, h  int
+	theta tensor.Vector
+	W     *tensor.Matrix // h x n
+	C     tensor.Vector  // h
+	A     tensor.Vector  // n
+	// A0 is theta[d-1], a constant offset (irrelevant to ratios but kept
+	// to mirror the paper's FC_{n,1} output head).
+}
+
+// RBMScratch holds per-worker buffers for RBM evaluation.
+type RBMScratch struct {
+	S     tensor.Vector // spins (n)
+	Theta tensor.Vector // hidden pre-activations (h)
+}
+
+// NewRBM builds an RBM with n sites and h hidden units, weights initialized
+// U(-1/sqrt(n), 1/sqrt(n)) scaled down to keep initial amplitudes tame.
+func NewRBM(n, h int, r *rng.Rand) *RBM {
+	if n < 1 || h < 1 {
+		panic("nn: RBM requires n >= 1 and h >= 1")
+	}
+	d := h*n + h + n + 1
+	theta := tensor.NewVector(d)
+	m := &RBM{n: n, h: h, theta: theta}
+	m.W = &tensor.Matrix{Rows: h, Cols: n, Data: theta[0 : h*n]}
+	m.C = theta[h*n : h*n+h]
+	m.A = theta[h*n+h : h*n+h+n]
+	uniformInit(m.W.Data, n, r)
+	uniformInit(m.C, n, r)
+	uniformInit(m.A, n, r)
+	// Scale down: ln cosh grows linearly, and n terms of O(1) would start
+	// the chain in a very peaked distribution.
+	tensor.Vector(m.W.Data).Scale(0.1)
+	m.C.Scale(0.1)
+	m.A.Scale(0.1)
+	return m
+}
+
+// NewScratch allocates evaluation buffers for one worker.
+func (m *RBM) NewScratch() *RBMScratch {
+	return &RBMScratch{S: tensor.NewVector(m.n), Theta: tensor.NewVector(m.h)}
+}
+
+// NumSites implements Wavefunction.
+func (m *RBM) NumSites() int { return m.n }
+
+// Hidden returns the number of hidden units h.
+func (m *RBM) Hidden() int { return m.h }
+
+// NumParams implements Wavefunction.
+func (m *RBM) NumParams() int { return len(m.theta) }
+
+// Params implements Wavefunction; the returned vector aliases the model.
+func (m *RBM) Params() tensor.Vector { return m.theta }
+
+// hiddenPre fills s.S with spins and s.Theta with w_k.s + c_k.
+func (m *RBM) hiddenPre(x []int, s *RBMScratch) {
+	for i, b := range x {
+		s.S[i] = float64(1 - 2*b)
+	}
+	m.W.MulVec(s.Theta, s.S)
+	s.Theta.Add(m.C)
+}
+
+// LogPsiScratch evaluates log psi(x) with caller-owned buffers.
+func (m *RBM) LogPsiScratch(x []int, s *RBMScratch) float64 {
+	m.hiddenPre(x, s)
+	lp := m.theta[len(m.theta)-1] // a0
+	for _, th := range s.Theta {
+		lp += lnCosh(th)
+	}
+	lp += m.A.Dot(s.S)
+	return lp
+}
+
+// LogPsi implements Wavefunction. Hot paths should use LogPsiScratch.
+func (m *RBM) LogPsi(x []int) float64 { return m.LogPsiScratch(x, m.NewScratch()) }
+
+// GradLogPsi implements Wavefunction.
+func (m *RBM) GradLogPsi(x []int, grad tensor.Vector) {
+	m.GradLogPsiScratch(x, grad, m.NewScratch())
+}
+
+// GradLogPsiScratch accumulates d log psi / d theta into grad (overwritten):
+// dW_ki = tanh(theta_k) s_i, dc_k = tanh(theta_k), da_i = s_i, da0 = 1.
+func (m *RBM) GradLogPsiScratch(x []int, grad tensor.Vector, s *RBMScratch) {
+	if len(grad) != m.NumParams() {
+		panic("nn: gradient buffer has wrong length")
+	}
+	m.hiddenPre(x, s)
+	h, n := m.h, m.n
+	gW := grad[0 : h*n]
+	gC := grad[h*n : h*n+h]
+	gA := grad[h*n+h : h*n+h+n]
+	for k := 0; k < h; k++ {
+		t := math.Tanh(s.Theta[k])
+		gC[k] = t
+		base := k * n
+		for i := 0; i < n; i++ {
+			gW[base+i] = t * s.S[i]
+		}
+	}
+	copy(gA, s.S)
+	grad[len(grad)-1] = 1
+}
+
+// NewFlipCache implements CacheBuilder with the O(h)-per-flip cache: the
+// hidden pre-activations theta_k = w_k.s + c_k are maintained under spin
+// flips, so Metropolis proposals and TIM local energies cost O(h) each.
+func (m *RBM) NewFlipCache(x []int) FlipCache {
+	c := &rbmFlipCache{m: m, x: make([]int, m.n), s: m.NewScratch()}
+	copy(c.x, x)
+	c.logPsi = m.LogPsiScratch(c.x, c.s)
+	return c
+}
+
+type rbmFlipCache struct {
+	m      *RBM
+	x      []int
+	s      *RBMScratch // s.S and s.Theta track the current configuration
+	logPsi float64
+}
+
+func (c *rbmFlipCache) LogPsi() float64 { return c.logPsi }
+
+// Delta computes log psi(x^b) - log psi(x) in O(h): flipping bit b sends
+// s_b -> -s_b, so theta_k -> theta_k - 2 W_kb s_b and the visible term
+// changes by -2 a_b s_b.
+func (c *rbmFlipCache) Delta(bit int) float64 {
+	sb := c.s.S[bit]
+	var d float64
+	for k := 0; k < c.m.h; k++ {
+		old := c.s.Theta[k]
+		d += lnCosh(old-2*c.m.W.At(k, bit)*sb) - lnCosh(old)
+	}
+	d -= 2 * c.m.A[bit] * sb
+	return d
+}
+
+func (c *rbmFlipCache) Flip(bit int) {
+	d := c.Delta(bit)
+	sb := c.s.S[bit]
+	for k := 0; k < c.m.h; k++ {
+		c.s.Theta[k] -= 2 * c.m.W.At(k, bit) * sb
+	}
+	c.s.S[bit] = -sb
+	c.x[bit] = 1 - c.x[bit]
+	c.logPsi += d
+}
+
+func (c *rbmFlipCache) State() []int { return c.x }
+
+func (c *rbmFlipCache) Reset(x []int) {
+	copy(c.x, x)
+	c.logPsi = c.m.LogPsiScratch(c.x, c.s)
+}
+
+// NewGradEvaluator implements GradEvaluatorBuilder.
+func (m *RBM) NewGradEvaluator() GradEvaluator {
+	return &rbmGradEvaluator{m: m, s: m.NewScratch()}
+}
+
+type rbmGradEvaluator struct {
+	m *RBM
+	s *RBMScratch
+}
+
+func (e *rbmGradEvaluator) GradLogPsi(x []int, grad tensor.Vector) {
+	e.m.GradLogPsiScratch(x, grad, e.s)
+}
+
+func (e *rbmGradEvaluator) LogPsi(x []int) float64 {
+	return e.m.LogPsiScratch(x, e.s)
+}
+
+var (
+	_ Wavefunction = (*RBM)(nil)
+	_ CacheBuilder = (*RBM)(nil)
+)

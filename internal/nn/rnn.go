@@ -1,0 +1,318 @@
+package nn
+
+import (
+	"math"
+
+	"github.com/vqmc-scale/parvqmc/internal/rng"
+	"github.com/vqmc-scale/parvqmc/internal/tensor"
+)
+
+// RNNWavefunction is a recurrent neural wavefunction in the spirit of
+// Hibat-Allah et al. (2020), the other autoregressive family the paper's
+// related-work section discusses. A vanilla tanh RNN consumes sites in
+// order; the hidden state after seeing x_<i parameterizes the conditional
+// for site i:
+//
+//	s_0 = s0;  s_{i} = tanh(Wh s_{i-1} + wx * x_{i-1} + bh)  (i >= 1)
+//	p_i = sigma(v . s_i + b_i)
+//
+// Like MADE and NADE it is normalized and exactly sampleable, with O(h^2)
+// work per site. Parameters: Wh (h x h), Wx (h), Bh (h), S0 (h), V (h),
+// Bout (n); d = h^2 + 4h + n.
+type RNNWavefunction struct {
+	n, h  int
+	theta tensor.Vector
+	Wh    *tensor.Matrix // h x h recurrence
+	Wx    tensor.Vector  // h, input weight (bit is scalar)
+	Bh    tensor.Vector  // h, recurrence bias
+	S0    tensor.Vector  // h, learned initial state
+	V     tensor.Vector  // h, output projection (shared across sites)
+	Bout  tensor.Vector  // n, per-site output bias
+}
+
+// RNNScratch holds per-worker buffers.
+type RNNScratch struct {
+	S    tensor.Vector  // current hidden state (h)
+	Pre  tensor.Vector  // pre-activation workspace (h)
+	Ss   *tensor.Matrix // (n+1) x h recorded states for backprop
+	dS   tensor.Vector
+	dPre tensor.Vector
+	buf  []int
+}
+
+// NewRNN builds an RNN wavefunction with n sites and hidden width h.
+func NewRNN(n, h int, r *rng.Rand) *RNNWavefunction {
+	if n < 1 || h < 1 {
+		panic("nn: RNN requires n >= 1 and h >= 1")
+	}
+	d := h*h + 4*h + n
+	theta := tensor.NewVector(d)
+	m := &RNNWavefunction{n: n, h: h, theta: theta}
+	off := 0
+	m.Wh = &tensor.Matrix{Rows: h, Cols: h, Data: theta[off : off+h*h]}
+	off += h * h
+	m.Wx = theta[off : off+h]
+	off += h
+	m.Bh = theta[off : off+h]
+	off += h
+	m.S0 = theta[off : off+h]
+	off += h
+	m.V = theta[off : off+h]
+	off += h
+	m.Bout = theta[off : off+n]
+	uniformInit(m.Wh.Data, h, r)
+	uniformInit(m.Wx, h, r)
+	uniformInit(m.Bh, h, r)
+	uniformInit(m.S0, h, r)
+	uniformInit(m.V, h, r)
+	uniformInit(m.Bout, h, r)
+	return m
+}
+
+// NewScratch allocates evaluation buffers.
+func (m *RNNWavefunction) NewScratch() *RNNScratch {
+	return &RNNScratch{
+		S:    tensor.NewVector(m.h),
+		Pre:  tensor.NewVector(m.h),
+		Ss:   tensor.NewMatrix(m.n+1, m.h),
+		dS:   tensor.NewVector(m.h),
+		dPre: tensor.NewVector(m.h),
+		buf:  make([]int, m.n),
+	}
+}
+
+// NumSites implements Wavefunction.
+func (m *RNNWavefunction) NumSites() int { return m.n }
+
+// Hidden returns h.
+func (m *RNNWavefunction) Hidden() int { return m.h }
+
+// NumParams implements Wavefunction.
+func (m *RNNWavefunction) NumParams() int { return len(m.theta) }
+
+// Params implements Wavefunction.
+func (m *RNNWavefunction) Params() tensor.Vector { return m.theta }
+
+// stepState advances s through one recurrence consuming bit.
+func (m *RNNWavefunction) stepState(s, pre tensor.Vector, bit int) {
+	m.Wh.MulVec(pre, s)
+	xb := float64(bit)
+	for k := 0; k < m.h; k++ {
+		pre[k] += m.Wx[k]*xb + m.Bh[k]
+		s[k] = math.Tanh(pre[k])
+	}
+}
+
+// outputZ is the conditional pre-activation for site i.
+func (m *RNNWavefunction) outputZ(s tensor.Vector, i int) float64 {
+	return m.V.Dot(s) + m.Bout[i]
+}
+
+// LogProbScratch evaluates log pi(x) in O(n h^2).
+func (m *RNNWavefunction) LogProbScratch(x []int, s *RNNScratch) float64 {
+	copy(s.S, m.S0)
+	var lp float64
+	for i, b := range x {
+		z := m.outputZ(s.S, i)
+		if b == 1 {
+			lp += logSigmoid(z)
+		} else {
+			lp += logSigmoid(-z)
+		}
+		if i < m.n-1 {
+			m.stepState(s.S, s.Pre, b)
+		}
+	}
+	return lp
+}
+
+// LogProb implements Normalized.
+func (m *RNNWavefunction) LogProb(x []int) float64 {
+	return m.LogProbScratch(x, m.NewScratch())
+}
+
+// LogPsi implements Wavefunction.
+func (m *RNNWavefunction) LogPsi(x []int) float64 { return 0.5 * m.LogProb(x) }
+
+// LogPsiScratch is the buffer-reusing variant.
+func (m *RNNWavefunction) LogPsiScratch(x []int, s *RNNScratch) float64 {
+	return 0.5 * m.LogProbScratch(x, s)
+}
+
+// Conditional implements Autoregressive.
+func (m *RNNWavefunction) Conditional(x []int, i int) float64 {
+	s := m.NewScratch()
+	copy(s.S, m.S0)
+	for j := 0; j < i; j++ {
+		m.stepState(s.S, s.Pre, x[j])
+	}
+	return 1 / (1 + math.Exp(-m.outputZ(s.S, i)))
+}
+
+// GradLogPsiScratch runs backpropagation through time.
+func (m *RNNWavefunction) GradLogPsiScratch(x []int, grad tensor.Vector, s *RNNScratch) {
+	if len(grad) != m.NumParams() {
+		panic("nn: gradient buffer has wrong length")
+	}
+	h, n := m.h, m.n
+	for i := range grad {
+		grad[i] = 0
+	}
+	gWh := grad[0 : h*h]
+	gWx := grad[h*h : h*h+h]
+	gBh := grad[h*h+h : h*h+2*h]
+	gS0 := grad[h*h+2*h : h*h+3*h]
+	gV := grad[h*h+3*h : h*h+4*h]
+	gBout := grad[h*h+4*h:]
+
+	// Forward, recording s_i (the state used for site i's conditional).
+	copy(s.S, m.S0)
+	copy(s.Ss.Row(0), s.S)
+	for i := 0; i < n-1; i++ {
+		m.stepState(s.S, s.Pre, x[i])
+		copy(s.Ss.Row(i+1), s.S)
+	}
+
+	// Backward through time.
+	for k := range s.dS {
+		s.dS[k] = 0
+	}
+	for i := n - 1; i >= 0; i-- {
+		si := tensor.Vector(s.Ss.Row(i))
+		z := m.V.Dot(si) + m.Bout[i]
+		dz := float64(x[i]) - 1/(1+math.Exp(-z))
+		gBout[i] += dz
+		for k := 0; k < h; k++ {
+			gV[k] += dz * si[k]
+			s.dS[k] += dz * m.V[k]
+		}
+		if i == 0 {
+			break
+		}
+		// Push dS back through s_i = tanh(Wh s_{i-1} + Wx x_{i-1} + Bh).
+		prev := tensor.Vector(s.Ss.Row(i - 1))
+		xb := float64(x[i-1])
+		for k := 0; k < h; k++ {
+			s.dPre[k] = s.dS[k] * (1 - si[k]*si[k])
+		}
+		for k := 0; k < h; k++ {
+			dp := s.dPre[k]
+			if dp == 0 {
+				continue
+			}
+			gBh[k] += dp
+			gWx[k] += dp * xb
+			row := gWh[k*h : (k+1)*h]
+			for j := 0; j < h; j++ {
+				row[j] += dp * prev[j]
+			}
+		}
+		// dS for the previous state.
+		for j := 0; j < h; j++ {
+			var acc float64
+			for k := 0; k < h; k++ {
+				acc += s.dPre[k] * m.Wh.At(k, j)
+			}
+			s.dS[j] = acc
+		}
+	}
+	copy(gS0, s.dS)
+	grad.Scale(0.5)
+}
+
+// GradLogPsi implements Wavefunction.
+func (m *RNNWavefunction) GradLogPsi(x []int, grad tensor.Vector) {
+	m.GradLogPsiScratch(x, grad, m.NewScratch())
+}
+
+// NewGradEvaluator implements GradEvaluatorBuilder.
+func (m *RNNWavefunction) NewGradEvaluator() GradEvaluator {
+	return &rnnGradEvaluator{m: m, s: m.NewScratch()}
+}
+
+type rnnGradEvaluator struct {
+	m *RNNWavefunction
+	s *RNNScratch
+}
+
+func (e *rnnGradEvaluator) GradLogPsi(x []int, grad tensor.Vector) {
+	e.m.GradLogPsiScratch(x, grad, e.s)
+}
+
+func (e *rnnGradEvaluator) LogPsi(x []int) float64 { return e.m.LogPsiScratch(x, e.s) }
+
+// NewFlipCache implements CacheBuilder (recompute; O(nh^2) per Delta).
+func (m *RNNWavefunction) NewFlipCache(x []int) FlipCache {
+	c := &rnnFlipCache{m: m, s: m.NewScratch(), x: make([]int, m.n)}
+	copy(c.x, x)
+	c.logPsi = m.LogPsiScratch(c.x, c.s)
+	return c
+}
+
+type rnnFlipCache struct {
+	m      *RNNWavefunction
+	s      *RNNScratch
+	x      []int
+	logPsi float64
+}
+
+func (c *rnnFlipCache) LogPsi() float64 { return c.logPsi }
+
+func (c *rnnFlipCache) Delta(bit int) float64 {
+	copy(c.s.buf, c.x)
+	c.s.buf[bit] = 1 - c.s.buf[bit]
+	return c.m.LogPsiScratch(c.s.buf, c.s) - c.logPsi
+}
+
+func (c *rnnFlipCache) Flip(bit int) {
+	c.x[bit] = 1 - c.x[bit]
+	c.logPsi = c.m.LogPsiScratch(c.x, c.s)
+}
+
+func (c *rnnFlipCache) State() []int { return c.x }
+
+func (c *rnnFlipCache) Reset(x []int) {
+	copy(c.x, x)
+	c.logPsi = c.m.LogPsiScratch(c.x, c.s)
+}
+
+// NewIncrementalEvaluator returns the natural sequential RNN evaluator
+// (one recurrence step per bit).
+func (m *RNNWavefunction) NewIncrementalEvaluator() ConditionalEvaluator {
+	e := &rnnEvaluator{m: m, s: m.NewScratch()}
+	e.Reset()
+	return e
+}
+
+type rnnEvaluator struct {
+	m      *RNNWavefunction
+	s      *RNNScratch
+	fixed  int
+	passes int64
+}
+
+func (e *rnnEvaluator) Reset() {
+	copy(e.s.S, e.m.S0)
+	e.fixed = 0
+}
+
+func (e *rnnEvaluator) Prob(i int) float64 {
+	return 1 / (1 + math.Exp(-e.m.outputZ(e.s.S, i)))
+}
+
+func (e *rnnEvaluator) Fix(i, bit int) {
+	if i < e.m.n-1 {
+		e.m.stepState(e.s.S, e.s.Pre, bit)
+	}
+	if e.fixed++; e.fixed == e.m.n {
+		e.passes++
+	}
+}
+
+func (e *rnnEvaluator) ForwardPasses() int64 { return e.passes }
+
+var (
+	_ Autoregressive       = (*RNNWavefunction)(nil)
+	_ CacheBuilder         = (*RNNWavefunction)(nil)
+	_ GradEvaluatorBuilder = (*RNNWavefunction)(nil)
+)

@@ -1,0 +1,153 @@
+// Package observables measures physical quantities of a trained
+// wavefunction beyond the energy: magnetizations, spin-spin correlation
+// functions, sample entropy, and — for validation at small n — the fidelity
+// with the exact ground state. Estimators follow the same Monte Carlo
+// pattern as the energy (Eq. 6 of the paper): sample from pi_theta,
+// average the diagonal observable.
+package observables
+
+import (
+	"errors"
+	"math"
+
+	"github.com/vqmc-scale/parvqmc/internal/hamiltonian"
+	"github.com/vqmc-scale/parvqmc/internal/nn"
+	"github.com/vqmc-scale/parvqmc/internal/sampler"
+)
+
+// Magnetization returns the estimators <s_i> for every site from a sampled
+// batch (s_i = 1-2x_i).
+func Magnetization(b *sampler.Batch) []float64 {
+	m := make([]float64, b.Sites)
+	for k := 0; k < b.N; k++ {
+		row := b.Row(k)
+		for i, x := range row {
+			m[i] += hamiltonian.Spin(x)
+		}
+	}
+	for i := range m {
+		m[i] /= float64(b.N)
+	}
+	return m
+}
+
+// MeanAbsMagnetization returns <|sum_i s_i|>/n, the standard order
+// parameter of Ising-type systems.
+func MeanAbsMagnetization(b *sampler.Batch) float64 {
+	var total float64
+	for k := 0; k < b.N; k++ {
+		var s float64
+		for _, x := range b.Row(k) {
+			s += hamiltonian.Spin(x)
+		}
+		total += math.Abs(s)
+	}
+	return total / float64(b.N) / float64(b.Sites)
+}
+
+// Correlation returns the connected correlation estimator
+// <s_i s_j> - <s_i><s_j> for a single pair.
+func Correlation(b *sampler.Batch, i, j int) float64 {
+	var sij, si, sj float64
+	for k := 0; k < b.N; k++ {
+		row := b.Row(k)
+		a, c := hamiltonian.Spin(row[i]), hamiltonian.Spin(row[j])
+		sij += a * c
+		si += a
+		sj += c
+	}
+	n := float64(b.N)
+	return sij/n - (si/n)*(sj/n)
+}
+
+// CorrelationMatrix returns the full connected correlation matrix
+// (row-major Sites x Sites; the diagonal holds variances of s_i).
+func CorrelationMatrix(b *sampler.Batch) []float64 {
+	n := b.Sites
+	mean := Magnetization(b)
+	out := make([]float64, n*n)
+	for k := 0; k < b.N; k++ {
+		row := b.Row(k)
+		for i := 0; i < n; i++ {
+			si := hamiltonian.Spin(row[i])
+			for j := i; j < n; j++ {
+				out[i*n+j] += si * hamiltonian.Spin(row[j])
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := out[i*n+j]/float64(b.N) - mean[i]*mean[j]
+			out[i*n+j] = v
+			out[j*n+i] = v
+		}
+	}
+	return out
+}
+
+// SampleEntropy estimates the Shannon entropy (in nats) of the sampled
+// distribution from the model's own log-probabilities:
+// H = -E_x[log pi(x)]. Requires a normalized model.
+func SampleEntropy(m nn.Normalized, b *sampler.Batch) float64 {
+	var h float64
+	for k := 0; k < b.N; k++ {
+		h -= m.LogProb(b.Row(k))
+	}
+	return h / float64(b.N)
+}
+
+// Fidelity computes |<psi_exact | psi_theta>|^2 for a normalized model by
+// exact enumeration over the 2^n basis. exactVec must be normalized (as
+// returned by exact.GroundState). Limited to n <= 22.
+func Fidelity(m nn.Normalized, exactVec []float64) (float64, error) {
+	n := m.NumSites()
+	if len(exactVec) != 1<<uint(n) {
+		return 0, errors.New("observables: exact vector dimension mismatch")
+	}
+	if n > 22 {
+		return 0, errors.New("observables: fidelity limited to n <= 22")
+	}
+	x := make([]int, n)
+	var overlap float64
+	for ix := range exactVec {
+		hamiltonian.IndexToBits(ix, x)
+		// psi_theta(x) = sqrt(pi(x)) >= 0; the exact PF ground vector can
+		// carry an arbitrary global sign, so take |entry|.
+		overlap += math.Abs(exactVec[ix]) * math.Exp(0.5*m.LogProb(x))
+	}
+	return overlap * overlap, nil
+}
+
+// EnergyHistogram bins local energies into nbins equal-width buckets over
+// [min, max]; useful for visualizing the collapse of the local-energy
+// distribution as the state approaches an eigenstate (Eq. 4).
+func EnergyHistogram(locals []float64, nbins int) (edges []float64, counts []int) {
+	if nbins < 1 || len(locals) == 0 {
+		return nil, nil
+	}
+	lo, hi := locals[0], locals[0]
+	for _, l := range locals {
+		if l < lo {
+			lo = l
+		}
+		if l > hi {
+			hi = l
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	edges = make([]float64, nbins+1)
+	for i := range edges {
+		edges[i] = lo + (hi-lo)*float64(i)/float64(nbins)
+	}
+	counts = make([]int, nbins)
+	for _, l := range locals {
+		b := int(float64(nbins) * (l - lo) / (hi - lo))
+		if b == nbins {
+			b = nbins - 1
+		}
+		counts[b]++
+	}
+	return edges, counts
+}

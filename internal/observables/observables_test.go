@@ -1,0 +1,157 @@
+package observables
+
+import (
+	"math"
+	"testing"
+
+	"github.com/vqmc-scale/parvqmc/internal/core"
+	"github.com/vqmc-scale/parvqmc/internal/exact"
+	"github.com/vqmc-scale/parvqmc/internal/hamiltonian"
+	"github.com/vqmc-scale/parvqmc/internal/nn"
+	"github.com/vqmc-scale/parvqmc/internal/optimizer"
+	"github.com/vqmc-scale/parvqmc/internal/rng"
+	"github.com/vqmc-scale/parvqmc/internal/sampler"
+)
+
+func fixedBatch(rows [][]int) *sampler.Batch {
+	b := sampler.NewBatch(len(rows), len(rows[0]))
+	for i, r := range rows {
+		copy(b.Row(i), r)
+	}
+	return b
+}
+
+func TestMagnetizationExact(t *testing.T) {
+	// Two samples: (0,1) -> spins (1,-1); (0,0) -> (1,1). Mean: (1, 0).
+	b := fixedBatch([][]int{{0, 1}, {0, 0}})
+	m := Magnetization(b)
+	if m[0] != 1 || m[1] != 0 {
+		t.Fatalf("magnetization %v, want [1 0]", m)
+	}
+}
+
+func TestMeanAbsMagnetization(t *testing.T) {
+	// All-zero sample: |sum s| = n -> 1. Alternating: 0.
+	b := fixedBatch([][]int{{0, 0, 0, 0}, {0, 1, 0, 1}})
+	if got := MeanAbsMagnetization(b); got != 0.5 {
+		t.Fatalf("mean |m| = %v, want 0.5", got)
+	}
+}
+
+func TestCorrelationPerfectlyAligned(t *testing.T) {
+	// Samples where sites 0 and 1 are always equal: connected correlation
+	// is 1 - mean^2 with mean 0 here.
+	b := fixedBatch([][]int{{0, 0}, {1, 1}, {0, 0}, {1, 1}})
+	if c := Correlation(b, 0, 1); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("aligned correlation %v, want 1", c)
+	}
+	// Anti-aligned sites: -1.
+	b2 := fixedBatch([][]int{{0, 1}, {1, 0}, {0, 1}, {1, 0}})
+	if c := Correlation(b2, 0, 1); math.Abs(c+1) > 1e-12 {
+		t.Fatalf("anti-aligned correlation %v, want -1", c)
+	}
+}
+
+func TestCorrelationMatrixSymmetricAndConsistent(t *testing.T) {
+	r := rng.New(1)
+	b := sampler.NewBatch(200, 5)
+	for i := range b.Bits {
+		b.Bits[i] = r.Bit()
+	}
+	cm := CorrelationMatrix(b)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if cm[i*5+j] != cm[j*5+i] {
+				t.Fatal("correlation matrix not symmetric")
+			}
+			if math.Abs(cm[i*5+j]-Correlation(b, i, j)) > 1e-12 {
+				t.Fatalf("matrix disagrees with pairwise at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Diagonal entries are variances of +-1 variables: in [0, 1].
+	for i := 0; i < 5; i++ {
+		if cm[i*5+i] < 0 || cm[i*5+i] > 1 {
+			t.Fatalf("variance out of range: %v", cm[i*5+i])
+		}
+	}
+}
+
+func TestSampleEntropyUniformModel(t *testing.T) {
+	// A fresh MADE with zero parameters is the uniform distribution:
+	// H = n ln 2.
+	n := 6
+	m := nn.NewMADE(n, 4, rng.New(2))
+	for i := range m.Params() {
+		m.Params()[i] = 0
+	}
+	r := rng.New(3)
+	b := sampler.NewBatch(64, n)
+	for i := range b.Bits {
+		b.Bits[i] = r.Bit()
+	}
+	h := SampleEntropy(m, b)
+	if math.Abs(h-float64(n)*math.Ln2) > 1e-9 {
+		t.Fatalf("uniform entropy %v, want %v", h, float64(n)*math.Ln2)
+	}
+}
+
+func TestFidelityIncreasesWithTraining(t *testing.T) {
+	r := rng.New(4)
+	n := 8
+	tim := hamiltonian.RandomTIM(n, r)
+	ex, err := exact.GroundState(tim, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := nn.NewMADE(n, 14, r.Split())
+	before, err := Fidelity(m, ex.Vector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smp := sampler.NewAutoMADE(m, true, 2, r.Split())
+	tr := core.New(tim, m, smp, optimizer.NewAdam(0.05), core.Config{BatchSize: 256, Workers: 2})
+	tr.Train(250, nil)
+	after, err := Fidelity(m, ex.Vector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after <= before {
+		t.Fatalf("fidelity did not increase: %v -> %v", before, after)
+	}
+	if after < 0.9 {
+		t.Fatalf("trained fidelity %v, want > 0.9", after)
+	}
+	if after > 1+1e-9 {
+		t.Fatalf("fidelity %v exceeds 1", after)
+	}
+}
+
+func TestFidelityValidation(t *testing.T) {
+	m := nn.NewMADE(4, 3, rng.New(6))
+	if _, err := Fidelity(m, make([]float64, 7)); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestEnergyHistogram(t *testing.T) {
+	locals := []float64{0, 0.1, 0.9, 1.0, 0.5}
+	edges, counts := EnergyHistogram(locals, 2)
+	if len(edges) != 3 || len(counts) != 2 {
+		t.Fatalf("shape: %d edges %d counts", len(edges), len(counts))
+	}
+	if counts[0]+counts[1] != len(locals) {
+		t.Fatal("histogram lost samples")
+	}
+	// Bins are half-open [lo, mid), [mid, hi]: 0.5 lands in the upper bin.
+	if counts[0] != 2 || counts[1] != 3 {
+		t.Fatalf("counts %v, want [2 3]", counts)
+	}
+	// Degenerate inputs.
+	if e, c := EnergyHistogram(nil, 3); e != nil || c != nil {
+		t.Fatal("empty input should return nil")
+	}
+	if _, c := EnergyHistogram([]float64{5, 5, 5}, 2); c[0] != 3 {
+		t.Fatal("constant input mishandled")
+	}
+}

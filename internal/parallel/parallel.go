@@ -1,0 +1,146 @@
+// Package parallel provides small building blocks for data-parallel loops:
+// a grain-controlled parallel for, index-range partitioning, and per-worker
+// reduction buffers. They follow the channel-of-completions idiom so callers
+// never manage goroutine lifecycles directly.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// MaxWorkers is the default worker count for For and Map.
+func MaxWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Range is a half-open index interval [Lo, Hi).
+type Range struct{ Lo, Hi int }
+
+// Partition splits [0,n) into at most parts near-equal contiguous ranges.
+// Empty ranges are omitted, so the result may be shorter than parts.
+func Partition(n, parts int) []Range {
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > n {
+		parts = n
+	}
+	out := make([]Range, 0, parts)
+	for i := 0; i < parts; i++ {
+		lo := i * n / parts
+		hi := (i + 1) * n / parts
+		if lo < hi {
+			out = append(out, Range{lo, hi})
+		}
+	}
+	return out
+}
+
+// For runs body(lo, hi) over a partition of [0,n) using up to workers
+// goroutines. workers <= 0 means MaxWorkers. With one worker or tiny n the
+// loop runs inline, so For is safe to use unconditionally on hot paths.
+func For(n, workers int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = MaxWorkers()
+	}
+	ranges := Partition(n, workers)
+	if len(ranges) == 1 {
+		body(ranges[0].Lo, ranges[0].Hi)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(ranges) - 1)
+	for _, r := range ranges[1:] {
+		go func(r Range) {
+			defer wg.Done()
+			body(r.Lo, r.Hi)
+		}(r)
+	}
+	body(ranges[0].Lo, ranges[0].Hi)
+	wg.Wait()
+}
+
+// ForEach runs body(i) for each i in [0,n) with up to workers goroutines.
+func ForEach(n, workers int, body func(i int)) {
+	For(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ReduceFloat64 runs body over a partition of [0,n), giving each worker a
+// private accumulator slice of length dim; partial results are summed into a
+// fresh slice. It is the shared-nothing alternative to atomic adds.
+func ReduceFloat64(n, workers, dim int, body func(lo, hi int, acc []float64)) []float64 {
+	if workers <= 0 {
+		workers = MaxWorkers()
+	}
+	ranges := Partition(n, workers)
+	if len(ranges) == 0 {
+		return make([]float64, dim)
+	}
+	parts := make([][]float64, len(ranges))
+	var wg sync.WaitGroup
+	wg.Add(len(ranges))
+	for w, r := range ranges {
+		go func(w int, r Range) {
+			defer wg.Done()
+			acc := make([]float64, dim)
+			body(r.Lo, r.Hi, acc)
+			parts[w] = acc
+		}(w, r)
+	}
+	wg.Wait()
+	total := make([]float64, dim)
+	for _, p := range parts {
+		for i, v := range p {
+			total[i] += v
+		}
+	}
+	return total
+}
+
+// Pool is a fixed-size worker pool for repeatedly dispatching batches of
+// closures; it amortizes goroutine startup across many small parallel
+// sections (e.g. one VQMC iteration).
+type Pool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+	size  int
+}
+
+// NewPool starts a pool with the given number of workers (<=0 means
+// MaxWorkers).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = MaxWorkers()
+	}
+	p := &Pool{tasks: make(chan func(), workers), size: workers}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for task := range p.tasks {
+				task()
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// Size reports the number of workers.
+func (p *Pool) Size() int { return p.size }
+
+// Run dispatches all tasks and waits for them to finish.
+func (p *Pool) Run(tasks ...func()) {
+	p.wg.Add(len(tasks))
+	for _, t := range tasks {
+		p.tasks <- t
+	}
+	p.wg.Wait()
+}
+
+// Close shuts the pool down. The pool must be idle.
+func (p *Pool) Close() { close(p.tasks) }

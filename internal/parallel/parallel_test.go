@@ -1,0 +1,140 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestPartitionCovers(t *testing.T) {
+	f := func(n, parts uint8) bool {
+		rs := Partition(int(n), int(parts))
+		covered := 0
+		last := 0
+		for _, r := range rs {
+			if r.Lo != last || r.Hi <= r.Lo {
+				return false
+			}
+			covered += r.Hi - r.Lo
+			last = r.Hi
+		}
+		return covered == int(n) && (len(rs) == 0) == (n == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionBalance(t *testing.T) {
+	rs := Partition(100, 7)
+	for _, r := range rs {
+		size := r.Hi - r.Lo
+		if size < 100/7 || size > 100/7+1 {
+			t.Errorf("unbalanced range %v", r)
+		}
+	}
+}
+
+func TestForVisitsAll(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		var count int64
+		visited := make([]int32, 1000)
+		For(1000, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&visited[i], 1)
+				atomic.AddInt64(&count, 1)
+			}
+		})
+		if count != 1000 {
+			t.Fatalf("workers=%d visited %d indices", workers, count)
+		}
+		for i, v := range visited {
+			if v != 1 {
+				t.Fatalf("index %d visited %d times", i, v)
+			}
+		}
+	}
+}
+
+func TestForZeroAndNegative(t *testing.T) {
+	called := false
+	For(0, 4, func(lo, hi int) { called = true })
+	For(-5, 4, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("body called for empty loop")
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum int64
+	ForEach(100, 4, func(i int) { atomic.AddInt64(&sum, int64(i)) })
+	if sum != 4950 {
+		t.Fatalf("sum = %d, want 4950", sum)
+	}
+}
+
+func TestReduceFloat64MatchesSerial(t *testing.T) {
+	data := make([]float64, 777)
+	for i := range data {
+		data[i] = float64(i%13) * 0.5
+	}
+	for _, workers := range []int{1, 2, 3, 8} {
+		got := ReduceFloat64(len(data), workers, 2, func(lo, hi int, acc []float64) {
+			for i := lo; i < hi; i++ {
+				acc[0] += data[i]
+				acc[1] += 1
+			}
+		})
+		var want float64
+		for _, v := range data {
+			want += v
+		}
+		if got[0] != want || got[1] != float64(len(data)) {
+			t.Fatalf("workers=%d got %v want [%v %v]", workers, got, want, len(data))
+		}
+	}
+}
+
+func TestReduceEmpty(t *testing.T) {
+	got := ReduceFloat64(0, 4, 3, func(lo, hi int, acc []float64) { acc[0] = 99 })
+	for _, v := range got {
+		if v != 0 {
+			t.Fatalf("empty reduce returned %v", got)
+		}
+	}
+}
+
+func TestPool(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	if p.Size() != 3 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+	var total int64
+	tasks := make([]func(), 20)
+	for i := range tasks {
+		i := i
+		tasks[i] = func() { atomic.AddInt64(&total, int64(i)) }
+	}
+	p.Run(tasks...)
+	if total != 190 {
+		t.Fatalf("total = %d, want 190", total)
+	}
+	// Pool is reusable.
+	p.Run(func() { atomic.AddInt64(&total, 10) })
+	if total != 200 {
+		t.Fatalf("total after reuse = %d", total)
+	}
+}
+
+func BenchmarkForOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		For(1024, 0, func(lo, hi int) {
+			s := 0.0
+			for j := lo; j < hi; j++ {
+				s += float64(j)
+			}
+			_ = s
+		})
+	}
+}

@@ -1,0 +1,117 @@
+package sampler
+
+import (
+	"math"
+	"testing"
+
+	"github.com/vqmc-scale/parvqmc/internal/hamiltonian"
+	"github.com/vqmc-scale/parvqmc/internal/nn"
+	"github.com/vqmc-scale/parvqmc/internal/rng"
+)
+
+// enumerateRBM returns the exact Born distribution pi ~ psi^2 of an RBM.
+func enumerateRBM(m *nn.RBM) []float64 {
+	n := m.NumSites()
+	dim := 1 << uint(n)
+	pi := make([]float64, dim)
+	x := make([]int, n)
+	var z float64
+	for ix := 0; ix < dim; ix++ {
+		hamiltonian.IndexToBits(ix, x)
+		pi[ix] = math.Exp(2 * m.LogPsi(x))
+		z += pi[ix]
+	}
+	for i := range pi {
+		pi[i] /= z
+	}
+	return pi
+}
+
+func TestGibbsStationaryDistribution(t *testing.T) {
+	r := rng.New(21)
+	n := 4
+	m := nn.NewRBM(n, 3, r)
+	for i := range m.Params() {
+		m.Params()[i] += r.Uniform(-0.3, 0.3)
+	}
+	pi := enumerateRBM(m)
+	g := NewGibbs(m, MCMCConfig{Chains: 2, BurnIn: 50, Thin: 2}, rng.New(22))
+	const total = 30000
+	counts := sampleCounts(g, n, 30, total/30)
+	chi := chiSquare(counts, pi, total)
+	if chi > 150 {
+		t.Fatalf("Gibbs chi^2 = %v too large (df=15): wrong stationary distribution", chi)
+	}
+}
+
+func TestGibbsMatchesMetropolisDistribution(t *testing.T) {
+	// Both samplers target the same pi; their empirical histograms must
+	// agree within noise.
+	r := rng.New(23)
+	n := 4
+	m := nn.NewRBM(n, 3, r)
+	gib := NewGibbs(m, MCMCConfig{Chains: 2, BurnIn: 50}, rng.New(24))
+	mh := NewMCMC(m, MCMCConfig{Chains: 2, BurnIn: 500, Thin: 2}, rng.New(25))
+	const total = 20000
+	cG := sampleCounts(gib, n, 20, total/20)
+	cM := sampleCounts(mh, n, 20, total/20)
+	for ix := range cG {
+		pG := float64(cG[ix]) / total
+		pM := float64(cM[ix]) / total
+		if math.Abs(pG-pM) > 0.03 {
+			t.Fatalf("samplers disagree at state %d: %v vs %v", ix, pG, pM)
+		}
+	}
+}
+
+func TestGibbsDefaults(t *testing.T) {
+	m := nn.NewRBM(10, 5, rng.New(26))
+	g := NewGibbs(m, MCMCConfig{}, rng.New(27))
+	cfg := g.Config()
+	if cfg.Chains != 2 || cfg.BurnIn != 20 || cfg.Thin != 1 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+}
+
+func TestGibbsSweepAccounting(t *testing.T) {
+	m := nn.NewRBM(6, 4, rng.New(28))
+	g := NewGibbs(m, MCMCConfig{Chains: 2, BurnIn: 10, Thin: 3}, rng.New(29))
+	b := NewBatch(10, 6)
+	g.Sample(b)
+	// Per chain: 10 burn-in + 5*3 = 25 sweeps; 2 chains = 50.
+	if got := g.Cost().Steps; got != 50 {
+		t.Fatalf("sweeps = %d, want 50", got)
+	}
+}
+
+func TestGibbsMixesFasterThanMetropolis(t *testing.T) {
+	// On a moderately peaked RBM, a Gibbs sweep updates all n sites while
+	// an MH step updates at most one: with equal numbers of moves, Gibbs
+	// should be closer to the target. Compare chi^2 under a tight budget.
+	r := rng.New(30)
+	n := 4
+	m := nn.NewRBM(n, 3, r)
+	for i := range m.Params() {
+		m.Params()[i] += r.Uniform(-0.4, 0.4)
+	}
+	pi := enumerateRBM(m)
+	const total = 8000
+	// 5 sweeps per sample for Gibbs vs 5 single-bit steps for MH.
+	gib := NewGibbs(m, MCMCConfig{Chains: 2, BurnIn: 5, Thin: 1}, rng.New(31))
+	mh := NewMCMC(m, MCMCConfig{Chains: 2, BurnIn: 5, Thin: 1}, rng.New(31))
+	chiG := chiSquare(sampleCounts(gib, n, 10, total/10), pi, total)
+	chiM := chiSquare(sampleCounts(mh, n, 10, total/10), pi, total)
+	if chiG > chiM {
+		t.Fatalf("Gibbs (chi^2=%.1f) mixed worse than Metropolis (chi^2=%.1f) at equal move budget", chiG, chiM)
+	}
+}
+
+func BenchmarkGibbsRBM(b *testing.B) {
+	m := nn.NewRBM(100, 100, rng.New(1))
+	g := NewGibbs(m, MCMCConfig{}, rng.New(2))
+	batch := NewBatch(32, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Sample(batch)
+	}
+}

@@ -1,0 +1,42 @@
+// Package sampler implements the two sampling strategies the paper
+// contrasts: exact autoregressive sampling (AUTO, Algorithm 1) and
+// random-walk Metropolis-Hastings MCMC with burn-in and thinning. Both fill
+// batches of configurations drawn (exactly or asymptotically) from
+// pi_theta(x) = psi_theta(x)^2 / <psi,psi>.
+package sampler
+
+import "sync/atomic"
+
+// Batch is a batch of n-bit configurations stored flat for cache locality.
+type Batch struct {
+	N     int // number of samples
+	Sites int // bits per sample
+	Bits  []int
+}
+
+// NewBatch allocates a zeroed batch.
+func NewBatch(n, sites int) *Batch {
+	return &Batch{N: n, Sites: sites, Bits: make([]int, n*sites)}
+}
+
+// Row returns sample i, aliasing batch storage.
+func (b *Batch) Row(i int) []int { return b.Bits[i*b.Sites : (i+1)*b.Sites] }
+
+// Cost accumulates sampling work in the paper's units: full-network forward
+// passes and raw Markov-chain steps. Counters are cumulative across Sample
+// calls and safe to read concurrently.
+type Cost struct {
+	ForwardPasses int64
+	Steps         int64
+}
+
+func (c *Cost) addPasses(n int64) { atomic.AddInt64(&c.ForwardPasses, n) }
+func (c *Cost) addSteps(n int64)  { atomic.AddInt64(&c.Steps, n) }
+
+// Sampler draws batches of configurations from the model distribution.
+type Sampler interface {
+	// Sample fills b with samples; b.Sites must equal the model size.
+	Sample(b *Batch)
+	// Cost returns cumulative cost counters.
+	Cost() Cost
+}

@@ -1,0 +1,372 @@
+// Package sdp solves the Max-Cut semidefinite relaxation through the
+// Burer-Monteiro low-rank factorization: minimize f(V) = sum_{i<j} w_ij
+// v_i.v_j over unit vectors v_i in R^r (rows of V). The feasible set is a
+// product of spheres, a Riemannian manifold; the package provides both
+// Riemannian gradient descent with backtracking and a Riemannian
+// trust-region method with a truncated-CG inner solver — the optimizer
+// family behind the paper's Burer-Monteiro baseline (Absil et al.).
+package sdp
+
+import (
+	"math"
+
+	"github.com/vqmc-scale/parvqmc/internal/graph"
+	"github.com/vqmc-scale/parvqmc/internal/rng"
+)
+
+// Factorization is a rank-r factor V with unit-norm rows: X = V V^T is the
+// PSD matrix of the relaxation.
+type Factorization struct {
+	N, R int
+	V    []float64 // row-major N x R
+}
+
+// Row returns row i of V.
+func (f *Factorization) Row(i int) []float64 { return f.V[i*f.R : (i+1)*f.R] }
+
+// DefaultRank is the Barvinok-Pataki rank ceil(sqrt(2n)) + 1 at which the
+// factorized problem has no spurious local minima generically.
+func DefaultRank(n int) int { return int(math.Ceil(math.Sqrt(float64(2*n)))) + 1 }
+
+// NewRandom returns a factorization with iid normal rows projected to the
+// sphere.
+func NewRandom(n, r int, rnd *rng.Rand) *Factorization {
+	f := &Factorization{N: n, R: r, V: make([]float64, n*r)}
+	rnd.FillNorm(f.V, 1)
+	f.normalizeRows()
+	return f
+}
+
+func (f *Factorization) normalizeRows() {
+	for i := 0; i < f.N; i++ {
+		row := f.Row(i)
+		var s float64
+		for _, v := range row {
+			s += v * v
+		}
+		s = math.Sqrt(s)
+		if s == 0 {
+			row[0] = 1
+			continue
+		}
+		for k := range row {
+			row[k] /= s
+		}
+	}
+}
+
+// Problem couples a graph with factorization workspace.
+type Problem struct {
+	G *graph.Graph
+}
+
+// Objective evaluates f(V) = sum_{i<j} w_ij v_i.v_j.
+func (p *Problem) Objective(f *Factorization) float64 {
+	var obj float64
+	for _, e := range p.G.Edges {
+		obj += e.W * dot(f.Row(e.U), f.Row(e.V))
+	}
+	return obj
+}
+
+// SDPCutBound returns the relaxation value sum w_ij (1 - v_i.v_j)/2, an
+// upper bound (at the SDP optimum) on the maximum cut.
+func (p *Problem) SDPCutBound(f *Factorization) float64 {
+	var cut float64
+	for _, e := range p.G.Edges {
+		cut += e.W * (1 - dot(f.Row(e.U), f.Row(e.V))) / 2
+	}
+	return cut
+}
+
+// EuclideanGrad computes G_i = sum_j w_ij v_j into out (same shape as V).
+func (p *Problem) EuclideanGrad(f *Factorization, out []float64) {
+	for i := range out {
+		out[i] = 0
+	}
+	r := f.R
+	for _, e := range p.G.Edges {
+		vu, vv := f.Row(e.U), f.Row(e.V)
+		ou := out[e.U*r : e.U*r+r]
+		ov := out[e.V*r : e.V*r+r]
+		for k := 0; k < r; k++ {
+			ou[k] += e.W * vv[k]
+			ov[k] += e.W * vu[k]
+		}
+	}
+}
+
+// RiemannianGrad projects the Euclidean gradient onto the tangent space of
+// the product of spheres: R_i = G_i - (G_i.v_i) v_i. egrad is consumed in
+// place.
+func (p *Problem) RiemannianGrad(f *Factorization, egrad []float64) {
+	r := f.R
+	for i := 0; i < f.N; i++ {
+		vi := f.Row(i)
+		gi := egrad[i*r : i*r+r]
+		c := dot(gi, vi)
+		for k := range gi {
+			gi[k] -= c * vi[k]
+		}
+	}
+}
+
+// HessVec computes the Riemannian Hessian applied to a tangent vector u:
+// (Hess f[u])_i = proj_i((A u)_i) - (v_i . (A v)_i) u_i, where A is the
+// weighted adjacency operator. av must hold the Euclidean gradient (A V).
+func (p *Problem) HessVec(f *Factorization, u, av, out []float64) {
+	r := f.R
+	// out = A u
+	for i := range out {
+		out[i] = 0
+	}
+	for _, e := range p.G.Edges {
+		uu := u[e.U*r : e.U*r+r]
+		uv := u[e.V*r : e.V*r+r]
+		ou := out[e.U*r : e.U*r+r]
+		ov := out[e.V*r : e.V*r+r]
+		for k := 0; k < r; k++ {
+			ou[k] += e.W * uv[k]
+			ov[k] += e.W * uu[k]
+		}
+	}
+	for i := 0; i < f.N; i++ {
+		vi := f.Row(i)
+		oi := out[i*r : i*r+r]
+		ui := u[i*r : i*r+r]
+		avi := av[i*r : i*r+r]
+		c := dot(oi, vi)
+		lam := dot(avi, vi)
+		for k := range oi {
+			oi[k] -= c*vi[k] + lam*ui[k]
+		}
+	}
+}
+
+// Retract moves V along tangent direction u with step t and renormalizes
+// each row (the metric projection retraction on the sphere product).
+func (f *Factorization) Retract(u []float64, t float64) {
+	for i := range f.V {
+		f.V[i] += t * u[i]
+	}
+	f.normalizeRows()
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i, x := range a {
+		s += x * b[i]
+	}
+	return s
+}
+
+func norm(a []float64) float64 { return math.Sqrt(dot(a, a)) }
+
+// GDResult reports a Riemannian gradient descent run.
+type GDResult struct {
+	Iterations int
+	Objective  float64
+	GradNorm   float64
+	Converged  bool
+}
+
+// GradientDescent runs Riemannian gradient descent with backtracking line
+// search (Armijo) until the Riemannian gradient norm falls below tol or
+// maxIter iterations pass.
+func (p *Problem) GradientDescent(f *Factorization, maxIter int, tol float64) GDResult {
+	n, r := f.N, f.R
+	grad := make([]float64, n*r)
+	trial := make([]float64, n*r)
+	obj := p.Objective(f)
+	step := 1.0 / (1 + p.G.TotalWeight()/float64(n)) // conservative initial step
+	var res GDResult
+	for it := 0; it < maxIter; it++ {
+		p.EuclideanGrad(f, grad)
+		p.RiemannianGrad(f, grad)
+		gn := norm(grad)
+		res = GDResult{Iterations: it, Objective: obj, GradNorm: gn}
+		if gn < tol {
+			res.Converged = true
+			return res
+		}
+		// Backtracking on the retraction.
+		t := step
+		for k := 0; k < 40; k++ {
+			copy(trial, f.V)
+			f.Retract(grad, -t)
+			newObj := p.Objective(f)
+			if newObj <= obj-1e-4*t*gn*gn {
+				obj = newObj
+				step = t * 1.5 // optimistic growth
+				break
+			}
+			copy(f.V, trial)
+			t /= 2
+			if k == 39 {
+				res.Converged = gn < tol*10
+				return res
+			}
+		}
+	}
+	res.Objective = obj
+	return res
+}
+
+// TRConfig tunes the Riemannian trust-region method. Zero values select
+// sensible defaults.
+type TRConfig struct {
+	MaxOuter   int     // outer iterations (default 100)
+	MaxInner   int     // tCG iterations (default dim of the manifold)
+	InitRadius float64 // initial trust radius (default sqrt(n)/8)
+	MaxRadius  float64 // radius cap (default sqrt(n))
+	Tol        float64 // gradient norm tolerance (default 1e-6)
+}
+
+// TrustRegion runs the Riemannian trust-region method with a
+// Steihaug-Toint truncated-CG inner solver, the algorithm of the paper's
+// Burer-Monteiro baseline (Absil, Baker & Gallivan).
+func (p *Problem) TrustRegion(f *Factorization, cfg TRConfig) GDResult {
+	n, r := f.N, f.R
+	dim := n * r
+	if cfg.MaxOuter <= 0 {
+		cfg.MaxOuter = 100
+	}
+	if cfg.MaxInner <= 0 {
+		cfg.MaxInner = dim
+	}
+	if cfg.InitRadius <= 0 {
+		cfg.InitRadius = math.Sqrt(float64(n)) / 8
+	}
+	if cfg.MaxRadius <= 0 {
+		cfg.MaxRadius = math.Sqrt(float64(n))
+	}
+	if cfg.Tol <= 0 {
+		cfg.Tol = 1e-6
+	}
+
+	egrad := make([]float64, dim) // A V (kept Euclidean for Hessian)
+	rgrad := make([]float64, dim)
+	eta := make([]float64, dim)   // tCG solution
+	rvec := make([]float64, dim)  // tCG residual
+	delta := make([]float64, dim) // tCG direction
+	hd := make([]float64, dim)    // Hessian times direction
+	trial := make([]float64, dim)
+
+	radius := cfg.InitRadius
+	obj := p.Objective(f)
+	var res GDResult
+
+	for outer := 0; outer < cfg.MaxOuter; outer++ {
+		p.EuclideanGrad(f, egrad)
+		copy(rgrad, egrad)
+		p.RiemannianGrad(f, rgrad)
+		gn := norm(rgrad)
+		res = GDResult{Iterations: outer, Objective: obj, GradNorm: gn}
+		if gn < cfg.Tol {
+			res.Converged = true
+			return res
+		}
+
+		// --- Steihaug-Toint tCG on the tangent space ---
+		for i := range eta {
+			eta[i] = 0
+			rvec[i] = rgrad[i]
+			delta[i] = -rgrad[i]
+		}
+		rr := dot(rvec, rvec)
+		interior := true
+		for inner := 0; inner < cfg.MaxInner; inner++ {
+			p.HessVec(f, delta, egrad, hd)
+			dHd := dot(delta, hd)
+			if dHd <= 0 {
+				// Negative curvature: go to the boundary.
+				tau := boundaryStep(eta, delta, radius)
+				axpy(eta, tau, delta)
+				interior = false
+				break
+			}
+			alpha := rr / dHd
+			// Would the step leave the trust region?
+			en2 := normSqAfter(eta, delta, alpha)
+			if en2 >= radius*radius {
+				tau := boundaryStep(eta, delta, radius)
+				axpy(eta, tau, delta)
+				interior = false
+				break
+			}
+			axpy(eta, alpha, delta)
+			axpy(rvec, alpha, hd)
+			rrNew := dot(rvec, rvec)
+			if math.Sqrt(rrNew) < 1e-10*gn || math.Sqrt(rrNew) < 1e-14 {
+				break
+			}
+			beta := rrNew / rr
+			for i := range delta {
+				delta[i] = -rvec[i] + beta*delta[i]
+			}
+			rr = rrNew
+		}
+
+		// Predicted vs actual reduction.
+		p.HessVec(f, eta, egrad, hd)
+		pred := -(dot(rgrad, eta) + 0.5*dot(eta, hd))
+		copy(trial, f.V)
+		f.Retract(eta, 1)
+		newObj := p.Objective(f)
+		actual := obj - newObj
+		rho := actual / math.Max(pred, 1e-15)
+
+		switch {
+		case rho < 0.25 || pred <= 0:
+			radius *= 0.25
+			copy(f.V, trial) // reject
+		case rho > 0.75 && !interior:
+			radius = math.Min(2*radius, cfg.MaxRadius)
+			obj = newObj
+		default:
+			obj = newObj
+		}
+		if radius < 1e-12 {
+			res.Objective = obj
+			return res
+		}
+	}
+	res.Objective = obj
+	return res
+}
+
+// boundaryStep returns tau >= 0 with |eta + tau*delta| = radius.
+func boundaryStep(eta, delta []float64, radius float64) float64 {
+	ee := dot(eta, eta)
+	ed := dot(eta, delta)
+	dd := dot(delta, delta)
+	disc := ed*ed - dd*(ee-radius*radius)
+	if disc < 0 {
+		disc = 0
+	}
+	return (-ed + math.Sqrt(disc)) / dd
+}
+
+func normSqAfter(eta, delta []float64, alpha float64) float64 {
+	return dot(eta, eta) + 2*alpha*dot(eta, delta) + alpha*alpha*dot(delta, delta)
+}
+
+func axpy(dst []float64, a float64, src []float64) {
+	for i := range dst {
+		dst[i] += a * src[i]
+	}
+}
+
+// RoundHyperplane rounds the factorization with one random hyperplane
+// (Goemans-Williamson): side_i = sign(v_i . g) with g ~ N(0, I_r).
+func RoundHyperplane(f *Factorization, rnd *rng.Rand, x []int) {
+	g := make([]float64, f.R)
+	rnd.FillNorm(g, 1)
+	for i := 0; i < f.N; i++ {
+		if dot(f.Row(i), g) >= 0 {
+			x[i] = 0
+		} else {
+			x[i] = 1
+		}
+	}
+}

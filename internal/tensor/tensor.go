@@ -1,0 +1,288 @@
+// Package tensor implements the dense float64 linear algebra used by the
+// neural wavefunctions: vectors, row-major matrices, batched matrix products
+// and the masked matrix-vector kernels that implement MADE's autoregressive
+// connectivity. Kernels are written cache-friendly (row-major, j-inner loops)
+// and the batched entry points can fan out across goroutines.
+package tensor
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/vqmc-scale/parvqmc/internal/parallel"
+)
+
+// Vector is a dense float64 vector.
+type Vector []float64
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns a copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Fill sets every element to c.
+func (v Vector) Fill(c float64) {
+	for i := range v {
+		v[i] = c
+	}
+}
+
+// Dot returns the inner product of v and w. The lengths must match.
+func (v Vector) Dot(w Vector) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(v), len(w)))
+	}
+	var s float64
+	for i, x := range v {
+		s += x * w[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func (v Vector) Norm2() float64 { return math.Sqrt(v.Dot(v)) }
+
+// AXPY computes v += a*w in place.
+func (v Vector) AXPY(a float64, w Vector) {
+	if len(v) != len(w) {
+		panic("tensor: AXPY length mismatch")
+	}
+	for i := range v {
+		v[i] += a * w[i]
+	}
+}
+
+// Scale multiplies every element by a.
+func (v Vector) Scale(a float64) {
+	for i := range v {
+		v[i] *= a
+	}
+}
+
+// Add computes v += w in place.
+func (v Vector) Add(w Vector) { v.AXPY(1, w) }
+
+// Sub computes v -= w in place.
+func (v Vector) Sub(w Vector) { v.AXPY(-1, w) }
+
+// Sum returns the sum of elements.
+func (v Vector) Sum() float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Max returns the maximum element; it panics on an empty vector.
+func (v Vector) Max() float64 {
+	if len(v) == 0 {
+		panic("tensor: Max of empty vector")
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, Data[i*Cols+j] = element (i,j)
+}
+
+// NewMatrix returns a zero Rows x Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) Vector { return Vector(m.Data[i*m.Cols : (i+1)*m.Cols]) }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Fill sets every element to c.
+func (m *Matrix) Fill(c float64) {
+	for i := range m.Data {
+		m.Data[i] = c
+	}
+}
+
+// T returns a newly allocated transpose.
+func (m *Matrix) T() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		base := i * m.Cols
+		for j := 0; j < m.Cols; j++ {
+			out.Data[j*m.Rows+i] = m.Data[base+j]
+		}
+	}
+	return out
+}
+
+// MulVec computes dst = m * x. dst must have length m.Rows and x length
+// m.Cols; dst must not alias x.
+func (m *Matrix) MulVec(dst, x Vector) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic("tensor: MulVec dimension mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, w := range row {
+			s += w * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// MulVecT computes dst = m^T * x without materializing the transpose.
+// dst must have length m.Cols and x length m.Rows; dst must not alias x.
+func (m *Matrix) MulVecT(dst, x Vector) {
+	if len(x) != m.Rows || len(dst) != m.Cols {
+		panic("tensor: MulVecT dimension mismatch")
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, w := range row {
+			dst[j] += w * xi
+		}
+	}
+}
+
+// MaskedMulVec computes dst = (mask .* m) * x, the MADE kernel, where mask
+// holds 0/1 entries with the same shape as m.
+func (m *Matrix) MaskedMulVec(dst, x Vector, mask *Matrix) {
+	if mask.Rows != m.Rows || mask.Cols != m.Cols {
+		panic("tensor: mask shape mismatch")
+	}
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic("tensor: MaskedMulVec dimension mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		mrow := mask.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, w := range row {
+			s += w * mrow[j] * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// Mul computes dst = a*b. Shapes must agree; dst must not alias a or b.
+func Mul(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("tensor: Mul dimension mismatch")
+	}
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// Batch is a batch of row vectors: Data[s] is sample s.
+// It is the batched input/activation format used by the wavefunctions.
+type Batch struct {
+	N, Dim int
+	Data   []float64 // row-major N x Dim
+}
+
+// NewBatch returns a zero batch of n samples of width dim.
+func NewBatch(n, dim int) *Batch {
+	return &Batch{N: n, Dim: dim, Data: make([]float64, n*dim)}
+}
+
+// Sample returns sample s as a vector aliasing the batch storage.
+func (b *Batch) Sample(s int) Vector { return Vector(b.Data[s*b.Dim : (s+1)*b.Dim]) }
+
+// Clone returns a deep copy.
+func (b *Batch) Clone() *Batch {
+	out := NewBatch(b.N, b.Dim)
+	copy(out.Data, b.Data)
+	return out
+}
+
+// BatchMul computes dst[s] = w * src[s] for every sample, parallelized over
+// samples with the given worker count (<=0 means GOMAXPROCS). Equivalent to
+// dst = src * w^T in matrix form.
+func BatchMul(dst, src *Batch, w *Matrix, workers int) {
+	if src.Dim != w.Cols || dst.Dim != w.Rows || src.N != dst.N {
+		panic("tensor: BatchMul dimension mismatch")
+	}
+	parallel.For(src.N, workers, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			w.MulVec(dst.Sample(s), src.Sample(s))
+		}
+	})
+}
+
+// ReLU applies max(0, x) elementwise.
+func ReLU(v Vector) {
+	for i, x := range v {
+		if x < 0 {
+			v[i] = 0
+		}
+	}
+}
+
+// Sigmoid applies the logistic function elementwise.
+func Sigmoid(v Vector) {
+	for i, x := range v {
+		v[i] = 1 / (1 + math.Exp(-x))
+	}
+}
+
+// AddBias computes v += b elementwise.
+func AddBias(v, b Vector) { v.Add(b) }
+
+// Equal reports whether two vectors differ by at most tol elementwise.
+func Equal(a, b Vector, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}

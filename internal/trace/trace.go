@@ -1,0 +1,198 @@
+// Package trace renders experiment results as aligned text tables (the
+// shape the paper prints) and CSV files, and records training curves.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Table is a simple column-aligned table with a title.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatFloat renders a float compactly: integers without decimals, small
+// magnitudes with enough precision to read.
+func FormatFloat(v float64) string {
+	a := v
+	if a < 0 {
+		a = -a
+	}
+	switch {
+	case v == float64(int64(v)) && a < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	case a >= 100:
+		return fmt.Sprintf("%.1f", v)
+	case a >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// MeanStd formats "mean +- std" the way the paper's tables do.
+func MeanStd(mean, std float64) string {
+	return fmt.Sprintf("%s +- %s", FormatFloat(mean), FormatFloat(std))
+}
+
+// Render writes the aligned table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	if err := t.Render(&b); err != nil {
+		return ""
+	}
+	return b.String()
+}
+
+// WriteCSV writes the table as CSV (header + rows) to path, creating parent
+// directories as needed.
+func (t *Table) WriteCSV(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	write := func(cells []string) error {
+		for i, c := range cells {
+			if i > 0 {
+				if _, err := f.WriteString(","); err != nil {
+					return err
+				}
+			}
+			if _, err := f.WriteString(csvEscape(c)); err != nil {
+				return err
+			}
+		}
+		_, err := f.WriteString("\n")
+		return err
+	}
+	if err := write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+	}
+	return s
+}
+
+// Curve is a recorded training curve (e.g. energy and std per iteration,
+// the series behind the paper's Figure 2).
+type Curve struct {
+	Name   string
+	Iter   []int
+	Series map[string][]float64
+	order  []string
+}
+
+// NewCurve creates an empty curve.
+func NewCurve(name string) *Curve {
+	return &Curve{Name: name, Series: map[string][]float64{}}
+}
+
+// Append records one iteration's values; keys must be consistent across
+// calls.
+func (c *Curve) Append(iter int, values map[string]float64) {
+	c.Iter = append(c.Iter, iter)
+	for k, v := range values {
+		if _, ok := c.Series[k]; !ok {
+			c.order = append(c.order, k)
+		}
+		c.Series[k] = append(c.Series[k], v)
+	}
+}
+
+// Keys returns the series names in first-seen order.
+func (c *Curve) Keys() []string { return c.order }
+
+// WriteCSV writes iter plus all series as CSV columns.
+func (c *Curve) WriteCSV(path string) error {
+	t := NewTable("", append([]string{"iter"}, c.order...)...)
+	for i, it := range c.Iter {
+		cells := make([]interface{}, 0, 1+len(c.order))
+		cells = append(cells, it)
+		for _, k := range c.order {
+			cells = append(cells, c.Series[k][i])
+		}
+		t.AddRow(cells...)
+	}
+	return t.WriteCSV(path)
+}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "model", "n", "value")
+	tb.AddRow("MADE", 20, 42.4)
+	tb.AddRow("RBM", 500, -976.25)
+	s := tb.String()
+	if !strings.Contains(s, "Demo") || !strings.Contains(s, "MADE") {
+		t.Fatalf("render missing content:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), s)
+	}
+	// Columns align: header "model" starts where rows' first column starts.
+	if !strings.HasPrefix(lines[1], "model") || !strings.HasPrefix(lines[3], "MADE") {
+		t.Fatalf("alignment broken:\n%s", s)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		42:      "42",
+		42.4:    "42.40",
+		-976.25: "-976.2",
+		0.025:   "0.0250",
+	}
+	for v, want := range cases {
+		if got := FormatFloat(v); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	if got := MeanStd(42.4, 0.8); got != "42.40 +- 0.8000" {
+		t.Fatalf("MeanStd = %q", got)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	dir := t.TempDir()
+	tb := NewTable("x", "a", "b")
+	tb.AddRow("hello, world", 1.5)
+	tb.AddRow(`quote"d`, 2)
+	path := filepath.Join(dir, "sub", "out.csv")
+	if err := tb.WriteCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.Contains(s, "\"hello, world\"") {
+		t.Fatalf("comma not escaped: %s", s)
+	}
+	if !strings.Contains(s, `"quote""d"`) {
+		t.Fatalf("quote not escaped: %s", s)
+	}
+	if !strings.HasPrefix(s, "a,b\n") {
+		t.Fatalf("missing header: %s", s)
+	}
+}
+
+func TestCurve(t *testing.T) {
+	c := NewCurve("run")
+	c.Append(1, map[string]float64{"energy": -1.5, "std": 0.3})
+	c.Append(2, map[string]float64{"energy": -2.0, "std": 0.2})
+	if len(c.Iter) != 2 || len(c.Series["energy"]) != 2 {
+		t.Fatal("curve did not record")
+	}
+	keys := c.Keys()
+	if len(keys) != 2 {
+		t.Fatalf("keys = %v", keys)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "curve.csv")
+	if err := c.WriteCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	if !strings.Contains(string(data), "iter") {
+		t.Fatalf("curve csv missing header: %s", data)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("curve csv rows = %d", len(lines))
+	}
+}

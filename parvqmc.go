@@ -1,0 +1,443 @@
+// Package parvqmc is a scalable variational quantum Monte Carlo (VQMC)
+// library, reproducing "Overcoming barriers to scalability in variational
+// quantum Monte Carlo" (Zhao, De, Chen, Stokes, Veerapaneni; SC '21).
+//
+// VQMC minimizes the Rayleigh quotient of an exponentially large sparse
+// symmetric matrix H over a family of neural trial states by alternating
+// Monte Carlo sampling with stochastic gradient steps. This package exposes
+// the two sampling strategies the paper contrasts — exact autoregressive
+// sampling from a MADE wavefunction (embarrassingly parallel, no burn-in)
+// and Metropolis-Hastings MCMC from an RBM — together with SGD/Adam/
+// stochastic-reconfiguration optimizers, data-parallel multi-device
+// training with ring all-reduce, classical Max-Cut baselines, and exact
+// diagonalization for validation.
+//
+// Quick start:
+//
+//	problem := parvqmc.TIM(16, 1)
+//	result, err := parvqmc.Train(problem, parvqmc.Options{})
+//	// result.Energy ~ ground-state energy of the 2^16-dim Hamiltonian
+package parvqmc
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/vqmc-scale/parvqmc/internal/core"
+	"github.com/vqmc-scale/parvqmc/internal/device"
+	"github.com/vqmc-scale/parvqmc/internal/dist"
+	"github.com/vqmc-scale/parvqmc/internal/exact"
+	"github.com/vqmc-scale/parvqmc/internal/graph"
+	"github.com/vqmc-scale/parvqmc/internal/hamiltonian"
+	"github.com/vqmc-scale/parvqmc/internal/maxcut"
+	"github.com/vqmc-scale/parvqmc/internal/nn"
+	"github.com/vqmc-scale/parvqmc/internal/optimizer"
+	"github.com/vqmc-scale/parvqmc/internal/rng"
+	"github.com/vqmc-scale/parvqmc/internal/sampler"
+)
+
+// Problem is a ground-state problem instance: a sparse symmetric matrix of
+// dimension 2^Sites presented through its efficient row structure.
+type Problem struct {
+	kind string
+	ham  hamiltonian.Hamiltonian
+	g    *graph.Graph // non-nil for Max-Cut
+}
+
+// TIM builds the paper's disordered transverse-field Ising instance on n
+// sites: alpha_i ~ U(0,1), beta_i, beta_ij ~ U(-1,1), sampled once from
+// seed and fixed.
+func TIM(n int, seed uint64) *Problem {
+	return &Problem{kind: "tim", ham: hamiltonian.RandomTIM(n, rng.New(seed))}
+}
+
+// MaxCut builds the paper's Max-Cut instance: a dense random graph
+// round((B+B^T)/2) with B_ij ~ Bernoulli(1/2), encoded as a diagonal
+// Hamiltonian whose ground state is a maximum cut.
+func MaxCut(n int, seed uint64) *Problem {
+	g := graph.RandomBernoulli(n, rng.New(seed))
+	return &Problem{kind: "maxcut", ham: hamiltonian.NewMaxCut(g), g: g}
+}
+
+// QUBO builds a quadratic unconstrained binary optimization problem
+// minimize sum_i Q_ii x_i + sum_{i<j} Q_ij x_i x_j over x in {0,1}^n. The
+// coefficient matrix is row-major n x n; only the diagonal and strict upper
+// triangle are read. VQMC then acts as a stochastic heuristic solver
+// (Section 2.4 of the paper generalizes Max-Cut to this family).
+func QUBO(q []float64, n int) *Problem {
+	return &Problem{kind: "qubo", ham: hamiltonian.NewQUBO(q, n)}
+}
+
+// RandomQUBO builds a QUBO with coefficients drawn uniformly from [-1, 1].
+func RandomQUBO(n int, seed uint64) *Problem {
+	return &Problem{kind: "qubo", ham: hamiltonian.RandomQUBO(n, rng.New(seed))}
+}
+
+// Sites returns the number of binary sites n (the matrix dimension is 2^n).
+func (p *Problem) Sites() int { return p.ham.N() }
+
+// Kind returns "tim" or "maxcut".
+func (p *Problem) Kind() string { return p.kind }
+
+// TotalEdgeWeight returns the graph's total edge weight (Max-Cut only).
+func (p *Problem) TotalEdgeWeight() float64 {
+	if p.g == nil {
+		return 0
+	}
+	return p.g.TotalWeight()
+}
+
+// CutOf converts an energy to a cut value for Max-Cut problems.
+func (p *Problem) CutOf(energy float64) (float64, bool) {
+	mc, ok := p.ham.(*hamiltonian.MaxCut)
+	if !ok {
+		return 0, false
+	}
+	return mc.CutFromEnergy(energy), true
+}
+
+// CutOfAssignment returns the cut of a 0/1 assignment (Max-Cut only).
+func (p *Problem) CutOfAssignment(x []int) (float64, bool) {
+	if p.g == nil {
+		return 0, false
+	}
+	return p.g.CutValue(x), true
+}
+
+// ExactGroundEnergy computes the exact minimal eigenvalue by Lanczos
+// (TIM, n <= 22) or exhaustive scan (diagonal problems, n <= 24).
+func (p *Problem) ExactGroundEnergy() (float64, error) {
+	if len(p.ham.FlipTerms()) == 0 {
+		e, _, err := exact.GroundStateDiagonal(p.ham, 0)
+		return e, err
+	}
+	res, err := exact.GroundState(p.ham, 0, 7)
+	return res.Energy, err
+}
+
+// Options configures a training run. The zero value reproduces the paper's
+// default configuration: MADE wavefunction with h = 5(ln n)^2, exact
+// autoregressive sampling, Adam with learning rate 0.01, batch 1024, 300
+// iterations.
+type Options struct {
+	// Model selects the wavefunction: "made" (default) or "rbm".
+	Model string
+	// Hidden overrides the latent size (default: 5(ln n)^2 for MADE, n for
+	// RBM).
+	Hidden int
+	// Sampler selects "auto" (incremental exact sampling, default for
+	// MADE), "auto-naive" (Algorithm 1: n forward passes per sample), or
+	// "mcmc" (default for RBM).
+	Sampler string
+	// Optimizer is "adam" (default, lr 0.01) or "sgd" (lr 0.1).
+	Optimizer string
+	// LearningRate overrides the optimizer default.
+	LearningRate float64
+	// StochasticReconfig preconditions gradients with the Fisher matrix
+	// (SR; natural gradient). The paper pairs it with SGD.
+	StochasticReconfig bool
+	// SRLambda is the SR regularization (default 1e-3).
+	SRLambda float64
+	// BatchSize is samples per iteration (default 1024).
+	BatchSize int
+	// Iterations is the number of training steps (default 300).
+	Iterations int
+	// EvalBatch is the evaluation batch (default 1024).
+	EvalBatch int
+	// Workers bounds CPU parallelism (default GOMAXPROCS).
+	Workers int
+	// Seed drives all randomness (default 1).
+	Seed uint64
+	// MCMC settings (zero values = paper defaults: 2 chains, burn-in
+	// 3n+100, no thinning).
+	MCMCChains, MCMCBurnIn, MCMCThin int
+}
+
+func (o *Options) fill(n int) error {
+	if o.Model == "" {
+		o.Model = "made"
+	}
+	o.Model = strings.ToLower(o.Model)
+	switch o.Model {
+	case "made", "rbm", "nade", "rnn":
+	default:
+		return fmt.Errorf("parvqmc: unknown model %q", o.Model)
+	}
+	if o.Sampler == "" {
+		if o.Model == "rbm" {
+			o.Sampler = "mcmc"
+		} else {
+			o.Sampler = "auto"
+		}
+	}
+	o.Sampler = strings.ToLower(o.Sampler)
+	if o.Model == "rbm" && o.Sampler != "mcmc" && o.Sampler != "gibbs" {
+		return fmt.Errorf("parvqmc: RBM requires an approximate sampler (mcmc or gibbs); it is unnormalized")
+	}
+	if o.Model != "rbm" && o.Sampler == "gibbs" {
+		return fmt.Errorf("parvqmc: the gibbs sampler requires the rbm model (bipartite structure)")
+	}
+	if o.Hidden <= 0 {
+		switch o.Model {
+		case "rbm":
+			o.Hidden = n
+		case "rnn":
+			// O(h^2) recurrence: a narrower default keeps the parameter
+			// budget comparable to MADE's 2hn.
+			o.Hidden = device.HiddenMADE(n) / 2
+			if o.Hidden < 4 {
+				o.Hidden = 4
+			}
+		default:
+			o.Hidden = device.HiddenMADE(n)
+		}
+	}
+	if o.Optimizer == "" {
+		o.Optimizer = "adam"
+	}
+	o.Optimizer = strings.ToLower(o.Optimizer)
+	if o.Optimizer != "adam" && o.Optimizer != "sgd" {
+		return fmt.Errorf("parvqmc: unknown optimizer %q", o.Optimizer)
+	}
+	if o.LearningRate <= 0 {
+		if o.Optimizer == "adam" {
+			o.LearningRate = 0.01
+		} else {
+			o.LearningRate = 0.1
+		}
+	}
+	if o.SRLambda <= 0 {
+		o.SRLambda = 1e-3
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 1024
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = 300
+	}
+	if o.EvalBatch <= 0 {
+		o.EvalBatch = 1024
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return nil
+}
+
+// IterationStat is one recorded training iteration.
+type IterationStat struct {
+	Iteration int
+	Energy    float64 // batch mean local energy
+	Std       float64 // batch std-dev (vanishes at an exact eigenstate)
+}
+
+// Result summarizes a training run.
+type Result struct {
+	// Energy and Std are evaluated on a fresh batch after training.
+	Energy, Std float64
+	// BestEnergy is the lowest local energy in the evaluation batch and
+	// BestConfig the configuration achieving it — the solver metric for
+	// combinatorial problems.
+	BestEnergy float64
+	BestConfig []int
+	// Cut is the evaluated mean cut value for Max-Cut problems (else 0).
+	Cut float64
+	// BestCut is the cut of the best evaluation sample (Max-Cut only).
+	BestCut float64
+	// Curve is the per-iteration training record.
+	Curve []IterationStat
+	// TrainTime is the wall-clock training duration.
+	TrainTime time.Duration
+	// ForwardPasses counts sampling work in the paper's Figure 1 units.
+	ForwardPasses int64
+
+	model nn.Wavefunction
+}
+
+// SaveModel writes the trained wavefunction to path in the library's
+// binary checkpoint format; reload it with LoadModelOptions.
+func (r *Result) SaveModel(path string) error {
+	if r.model == nil {
+		return fmt.Errorf("parvqmc: result carries no model")
+	}
+	return nn.SaveFile(path, r.model)
+}
+
+func (o Options) buildOptimizer() (optimizer.Optimizer, *optimizer.SR) {
+	var opt optimizer.Optimizer
+	if o.Optimizer == "adam" {
+		opt = optimizer.NewAdam(o.LearningRate)
+	} else {
+		opt = optimizer.NewSGD(o.LearningRate)
+	}
+	var sr *optimizer.SR
+	if o.StochasticReconfig {
+		sr = optimizer.NewSR(o.SRLambda)
+	}
+	return opt, sr
+}
+
+// Train runs VQMC on the problem and returns the result.
+func Train(p *Problem, o Options) (*Result, error) {
+	n := p.Sites()
+	if err := o.fill(n); err != nil {
+		return nil, err
+	}
+	r := rng.New(o.Seed)
+
+	var model core.Model
+	var smp sampler.Sampler
+	mcmcCfg := sampler.MCMCConfig{Chains: o.MCMCChains, BurnIn: o.MCMCBurnIn, Thin: o.MCMCThin}
+	switch o.Model {
+	case "made":
+		m := nn.NewMADE(n, o.Hidden, r.Split())
+		model = m
+		switch o.Sampler {
+		case "auto":
+			smp = sampler.NewAutoMADE(m, true, o.Workers, r.Split())
+		case "auto-naive":
+			smp = sampler.NewAutoMADE(m, false, o.Workers, r.Split())
+		case "mcmc":
+			smp = sampler.NewMCMC(m, mcmcCfg, r.Split())
+		default:
+			return nil, fmt.Errorf("parvqmc: unknown sampler %q", o.Sampler)
+		}
+	case "nade":
+		m := nn.NewNADE(n, o.Hidden, r.Split())
+		model = m
+		switch o.Sampler {
+		case "auto", "auto-naive": // NADE's evaluation is inherently incremental
+			smp = sampler.NewAuto(n, m.NewIncrementalEvaluator, o.Workers, r.Split())
+		case "mcmc":
+			smp = sampler.NewMCMC(m, mcmcCfg, r.Split())
+		default:
+			return nil, fmt.Errorf("parvqmc: unknown sampler %q", o.Sampler)
+		}
+	case "rnn":
+		m := nn.NewRNN(n, o.Hidden, r.Split())
+		model = m
+		switch o.Sampler {
+		case "auto", "auto-naive":
+			smp = sampler.NewAuto(n, m.NewIncrementalEvaluator, o.Workers, r.Split())
+		case "mcmc":
+			smp = sampler.NewMCMC(m, mcmcCfg, r.Split())
+		default:
+			return nil, fmt.Errorf("parvqmc: unknown sampler %q", o.Sampler)
+		}
+	case "rbm":
+		m := nn.NewRBM(n, o.Hidden, r.Split())
+		model = m
+		if o.Sampler == "gibbs" {
+			smp = sampler.NewGibbs(m, mcmcCfg, r.Split())
+		} else {
+			smp = sampler.NewMCMC(m, mcmcCfg, r.Split())
+		}
+	}
+
+	opt, sr := o.buildOptimizer()
+	tr := core.New(p.ham, model, smp, opt, core.Config{
+		BatchSize: o.BatchSize, Workers: o.Workers, SR: sr})
+
+	start := time.Now()
+	curve := tr.Train(o.Iterations, nil)
+	elapsed := time.Since(start)
+	mean, std, best, argBest := tr.EvaluateBest(o.EvalBatch)
+
+	res := &Result{
+		Energy: mean, Std: std, BestEnergy: best, BestConfig: argBest,
+		TrainTime:     elapsed,
+		ForwardPasses: smp.Cost().ForwardPasses,
+		model:         model,
+	}
+	for _, s := range curve {
+		res.Curve = append(res.Curve, IterationStat{Iteration: s.Iter, Energy: s.Energy, Std: s.Std})
+	}
+	if cut, ok := p.CutOf(mean); ok {
+		res.Cut = cut
+		res.BestCut, _ = p.CutOf(best)
+	}
+	return res, nil
+}
+
+// TrainDistributed runs the paper's data-parallel scheme: devices replicas
+// (goroutines) each sample miniBatch configurations per iteration, gradients
+// are combined with a ring all-reduce, and every replica applies the same
+// update. The effective batch is devices*miniBatch. Only MADE+AUTO is
+// supported, matching the paper's scalability experiments.
+func TrainDistributed(p *Problem, o Options, devices, miniBatch int) (*Result, error) {
+	n := p.Sites()
+	if err := o.fill(n); err != nil {
+		return nil, err
+	}
+	if o.Model != "made" {
+		return nil, fmt.Errorf("parvqmc: distributed training supports the made model only")
+	}
+	if devices <= 0 || miniBatch <= 0 {
+		return nil, fmt.Errorf("parvqmc: devices and miniBatch must be positive")
+	}
+	streams := rng.New(o.Seed).SplitN(devices)
+	reps := make([]dist.Replica, devices)
+	for rdev := 0; rdev < devices; rdev++ {
+		m := nn.NewMADE(n, o.Hidden, rng.New(o.Seed+12345)) // identical init
+		opt, _ := o.buildOptimizer()
+		reps[rdev] = dist.Replica{
+			Model: m,
+			Smp:   sampler.NewAutoMADE(m, true, 1, streams[rdev]),
+			Opt:   opt,
+		}
+	}
+	tr, err := dist.New(p.ham, reps, miniBatch)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	hist := tr.Train(o.Iterations, nil)
+	elapsed := time.Since(start)
+	mean, std := tr.Evaluate(o.EvalBatch)
+	res := &Result{Energy: mean, Std: std, TrainTime: elapsed}
+	for _, s := range hist {
+		res.Curve = append(res.Curve, IterationStat{Iteration: s.Iter, Energy: s.Energy, Std: s.Std})
+	}
+	if cut, ok := p.CutOf(mean); ok {
+		res.Cut = cut
+	}
+	return res, nil
+}
+
+// ClassicalResult is the outcome of a classical Max-Cut solver.
+type ClassicalResult struct {
+	Cut        float64
+	Assignment []int
+	SDPBound   float64
+}
+
+// SolveMaxCutClassical runs one of the paper's baselines on a Max-Cut
+// problem: "random", "gw" (Goemans-Williamson) or "bm" (Burer-Monteiro with
+// Riemannian trust region).
+func SolveMaxCutClassical(p *Problem, method string, seed uint64) (*ClassicalResult, error) {
+	if p.g == nil {
+		return nil, fmt.Errorf("parvqmc: %q is not a Max-Cut problem", p.kind)
+	}
+	r := rng.New(seed)
+	var res maxcut.Result
+	switch strings.ToLower(method) {
+	case "random":
+		res = maxcut.Random(p.g, r)
+	case "gw", "goemans-williamson":
+		res = maxcut.GoemansWilliamson(p.g, maxcut.GWConfig{}, r)
+	case "bm", "burer-monteiro":
+		res = maxcut.BurerMonteiro(p.g, maxcut.BMConfig{}, r)
+	default:
+		return nil, fmt.Errorf("parvqmc: unknown classical method %q", method)
+	}
+	return &ClassicalResult{Cut: res.Cut, Assignment: res.Assignment, SDPBound: res.SDPBound}, nil
+}
+
+// DefaultHidden returns the paper's latent-size rule for a model kind.
+func DefaultHidden(model string, n int) int {
+	if strings.ToLower(model) == "rbm" {
+		return n
+	}
+	return device.HiddenMADE(n)
+}

@@ -1,0 +1,336 @@
+package parvqmc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTrainTIMReachesGroundState(t *testing.T) {
+	p := TIM(8, 3)
+	exactE, err := p.ExactGroundEnergy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Train(p, Options{
+		Hidden: 16, BatchSize: 256, Iterations: 300, EvalBatch: 512,
+		Optimizer: "adam", LearningRate: 0.05, Workers: 2, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := (res.Energy - exactE) / math.Abs(exactE)
+	if gap > 0.05 {
+		t.Fatalf("energy %v vs exact %v (gap %.3f)", res.Energy, exactE, gap)
+	}
+	if len(res.Curve) != 300 {
+		t.Fatalf("curve length %d", len(res.Curve))
+	}
+	if res.ForwardPasses <= 0 {
+		t.Fatal("forward passes not counted")
+	}
+}
+
+func TestTrainMaxCutProducesCut(t *testing.T) {
+	p := MaxCut(10, 4)
+	res, err := Train(p, Options{
+		BatchSize: 256, Iterations: 200, EvalBatch: 512,
+		LearningRate: 0.05, Workers: 2, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cut <= p.TotalEdgeWeight()/2 {
+		t.Fatalf("trained cut %v not better than random baseline %v",
+			res.Cut, p.TotalEdgeWeight()/2)
+	}
+}
+
+func TestRBMRoute(t *testing.T) {
+	p := TIM(6, 7)
+	res, err := Train(p, Options{
+		Model: "rbm", BatchSize: 128, Iterations: 100, EvalBatch: 256,
+		LearningRate: 0.02, MCMCBurnIn: 150, Workers: 2, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Curve[len(res.Curve)-1].Energy >= res.Curve[0].Energy {
+		t.Fatal("RBM training did not reduce energy")
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	p := TIM(5, 1)
+	if _, err := Train(p, Options{Model: "vae"}); err == nil {
+		t.Fatal("unknown model should error")
+	}
+	if _, err := Train(p, Options{Model: "rbm", Sampler: "auto"}); err == nil {
+		t.Fatal("rbm+auto should error (unnormalized)")
+	}
+	if _, err := Train(p, Options{Optimizer: "lion"}); err == nil {
+		t.Fatal("unknown optimizer should error")
+	}
+	if _, err := Train(p, Options{Sampler: "hamiltonian-mc"}); err == nil {
+		t.Fatal("unknown sampler should error")
+	}
+}
+
+func TestSRRoute(t *testing.T) {
+	p := TIM(6, 9)
+	res, err := Train(p, Options{
+		Optimizer: "sgd", StochasticReconfig: true,
+		BatchSize: 128, Iterations: 80, EvalBatch: 256, Workers: 2, Seed: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactE, err := p.ExactGroundEnergy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Energy < exactE-0.5 {
+		t.Fatalf("SR energy %v below exact %v: estimator broken", res.Energy, exactE)
+	}
+}
+
+func TestTrainDistributed(t *testing.T) {
+	p := TIM(7, 11)
+	res, err := TrainDistributed(p, Options{
+		Hidden: 12, Iterations: 120, EvalBatch: 256,
+		LearningRate: 0.05, Seed: 12,
+	}, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactE, err := p.ExactGroundEnergy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := (res.Energy - exactE) / math.Abs(exactE)
+	if gap > 0.15 {
+		t.Fatalf("distributed energy %v vs exact %v", res.Energy, exactE)
+	}
+	// Validation errors.
+	if _, err := TrainDistributed(p, Options{Model: "rbm"}, 2, 4); err == nil {
+		t.Fatal("rbm distributed should error")
+	}
+	if _, err := TrainDistributed(p, Options{}, 0, 4); err == nil {
+		t.Fatal("zero devices should error")
+	}
+}
+
+func TestSolveMaxCutClassical(t *testing.T) {
+	p := MaxCut(12, 13)
+	var cuts []float64
+	for _, m := range []string{"random", "gw", "bm"} {
+		res, err := SolveMaxCutClassical(p, m, 14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c, ok := p.CutOfAssignment(res.Assignment); !ok || c != res.Cut {
+			t.Fatalf("%s: assignment/cut mismatch", m)
+		}
+		cuts = append(cuts, res.Cut)
+	}
+	// Expected ordering: random <= gw <= bm on average; enforce loosely.
+	if cuts[2] < cuts[0] {
+		t.Fatalf("BM (%v) worse than random (%v)", cuts[2], cuts[0])
+	}
+	// TIM has no graph.
+	if _, err := SolveMaxCutClassical(TIM(5, 1), "gw", 1); err == nil {
+		t.Fatal("classical solver on TIM should error")
+	}
+	if _, err := SolveMaxCutClassical(p, "quantum", 1); err == nil {
+		t.Fatal("unknown method should error")
+	}
+}
+
+func TestProblemAccessors(t *testing.T) {
+	p := MaxCut(9, 15)
+	if p.Kind() != "maxcut" || p.Sites() != 9 {
+		t.Fatalf("accessors: %s %d", p.Kind(), p.Sites())
+	}
+	if _, ok := p.CutOf(0); !ok {
+		t.Fatal("CutOf should work for maxcut")
+	}
+	tim := TIM(5, 16)
+	if _, ok := tim.CutOf(0); ok {
+		t.Fatal("CutOf should fail for tim")
+	}
+	if tim.TotalEdgeWeight() != 0 {
+		t.Fatal("TIM has no edges")
+	}
+}
+
+func TestDefaultHidden(t *testing.T) {
+	if DefaultHidden("rbm", 100) != 100 {
+		t.Fatal("RBM default hidden should be n")
+	}
+	if h := DefaultHidden("made", 100); h < 100 || h > 112 {
+		t.Fatalf("MADE default hidden = %d, want ~106", h)
+	}
+}
+
+func TestExactGroundEnergyMaxCut(t *testing.T) {
+	p := MaxCut(10, 17)
+	e, err := p.ExactGroundEnergy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, _ := p.CutOf(e)
+	if cut <= p.TotalEdgeWeight()/2 {
+		t.Fatalf("exact max cut %v should beat half weight %v", cut, p.TotalEdgeWeight()/2)
+	}
+}
+
+func TestMADEWithMCMCSamplerAblation(t *testing.T) {
+	// The facade permits MADE+MCMC (used to isolate the sampler's effect).
+	p := TIM(6, 19)
+	res, err := Train(p, Options{
+		Model: "made", Sampler: "mcmc", BatchSize: 128, Iterations: 50,
+		EvalBatch: 128, Workers: 2, Seed: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.Energy) {
+		t.Fatal("NaN energy")
+	}
+}
+
+func TestNaiveAutoSamplerRoute(t *testing.T) {
+	p := TIM(6, 21)
+	res, err := Train(p, Options{
+		Sampler: "auto-naive", BatchSize: 64, Iterations: 30, EvalBatch: 64,
+		Workers: 1, Seed: 22,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Algorithm 1 charges n passes per sample.
+	wantMin := int64(6 * 64 * 30)
+	if res.ForwardPasses < wantMin {
+		t.Fatalf("forward passes %d < %d", res.ForwardPasses, wantMin)
+	}
+}
+
+func TestQUBOFacade(t *testing.T) {
+	p := RandomQUBO(10, 23)
+	if p.Kind() != "qubo" || p.Sites() != 10 {
+		t.Fatalf("accessors: %s %d", p.Kind(), p.Sites())
+	}
+	exactE, err := p.ExactGroundEnergy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plain Adam gets trapped in a local optimum of this rugged landscape;
+	// stochastic reconfiguration escapes it — the paper's observation that
+	// natural gradient "proved essential for converging to a good local
+	// optimum" (Section 5.3).
+	res, err := Train(p, Options{
+		Optimizer: "sgd", StochasticReconfig: true,
+		BatchSize: 256, Iterations: 200, EvalBatch: 512,
+		LearningRate: 0.05, Workers: 2, Seed: 24,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The best evaluation sample should reach the exhaustive optimum on a
+	// 10-variable QUBO, and no sample may beat it.
+	if res.BestEnergy > exactE+0.05*math.Abs(exactE) {
+		t.Fatalf("QUBO best energy %v far from optimum %v", res.BestEnergy, exactE)
+	}
+	if res.BestEnergy < exactE-1e-9 {
+		t.Fatalf("QUBO best energy %v below exhaustive optimum %v", res.BestEnergy, exactE)
+	}
+	if got := (&Problem{kind: "qubo", ham: p.ham}).ham.Diagonal(res.BestConfig); math.Abs(got-res.BestEnergy) > 1e-9 {
+		t.Fatalf("BestConfig objective %v != BestEnergy %v", got, res.BestEnergy)
+	}
+}
+
+func TestQUBOExplicitMatrix(t *testing.T) {
+	// One-variable sanity: f(x) = -2x has optimum -2 at x=1.
+	p := QUBO([]float64{-2}, 1)
+	e, err := p.ExactGroundEnergy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != -2 {
+		t.Fatalf("optimum %v, want -2", e)
+	}
+}
+
+func TestNADERoute(t *testing.T) {
+	p := TIM(8, 25)
+	exactE, err := p.ExactGroundEnergy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Train(p, Options{
+		Model: "nade", Hidden: 16, BatchSize: 256, Iterations: 300,
+		EvalBatch: 512, LearningRate: 0.05, Workers: 2, Seed: 26,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := (res.Energy - exactE) / math.Abs(exactE)
+	if gap > 0.08 {
+		t.Fatalf("NADE energy %v vs exact %v (gap %.3f)", res.Energy, exactE, gap)
+	}
+}
+
+func TestRNNRoute(t *testing.T) {
+	p := TIM(8, 27)
+	exactE, err := p.ExactGroundEnergy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The recurrent parametrization needs a gentler learning rate than the
+	// feed-forward models.
+	res, err := Train(p, Options{
+		Model: "rnn", Hidden: 16, BatchSize: 256, Iterations: 300,
+		EvalBatch: 512, LearningRate: 0.02, Workers: 2, Seed: 28,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := (res.Energy - exactE) / math.Abs(exactE)
+	if gap > 0.05 {
+		t.Fatalf("RNN energy %v vs exact %v (gap %.3f)", res.Energy, exactE, gap)
+	}
+}
+
+func TestGibbsSamplerRoute(t *testing.T) {
+	p := TIM(6, 29)
+	res, err := Train(p, Options{
+		Model: "rbm", Sampler: "gibbs", BatchSize: 128, Iterations: 150,
+		EvalBatch: 256, LearningRate: 0.02, Workers: 2, Seed: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Curve[len(res.Curve)-1].Energy >= res.Curve[0].Energy {
+		t.Fatal("gibbs-sampled RBM training did not reduce energy")
+	}
+	// gibbs is RBM-only.
+	if _, err := Train(p, Options{Model: "made", Sampler: "gibbs"}); err == nil {
+		t.Fatal("made+gibbs should error")
+	}
+}
+
+func TestSaveModel(t *testing.T) {
+	p := TIM(5, 31)
+	res, err := Train(p, Options{
+		BatchSize: 64, Iterations: 20, EvalBatch: 64, Workers: 1, Seed: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/model.pvq"
+	if err := res.SaveModel(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := (&Result{}).SaveModel(path); err == nil {
+		t.Fatal("empty result should refuse to save")
+	}
+}
