@@ -1,0 +1,3 @@
+module github.com/vqmc-scale/parvqmc
+
+go 1.24

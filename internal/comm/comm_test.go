@@ -74,6 +74,58 @@ func TestNaiveAllReduceMatchesRing(t *testing.T) {
 	}
 }
 
+// TestRingMatchesNaiveProperty is a property test over random vector
+// lengths chosen to NOT be divisible by the group size — the chunk-boundary
+// edge cases of the ring algorithm, including lengths smaller than the
+// group (empty chunks) — for group sizes 1, 2, 3, and 7. The chunked ring
+// and the gather-broadcast reference must agree elementwise on every rank.
+func TestRingMatchesNaiveProperty(t *testing.T) {
+	r := rng.New(424242)
+	for _, p := range []int{1, 2, 3, 7} {
+		lengths := []int{1, 2, p - 1, p + 1} // deliberate sub- and near-group sizes
+		for trial := 0; trial < 16; trial++ {
+			lengths = append(lengths, 1+r.Intn(200))
+		}
+		for _, n := range lengths {
+			if n < 1 {
+				continue
+			}
+			if p > 1 && n%p == 0 {
+				n++ // force a ragged chunking
+			}
+			ring := make([][]float64, p)
+			naive := make([][]float64, p)
+			for rank := 0; rank < p; rank++ {
+				ring[rank] = make([]float64, n)
+				r.FillUniform(ring[rank], -10, 10)
+				naive[rank] = append([]float64(nil), ring[rank]...)
+			}
+			g1 := NewGroup(p)
+			runCollective(g1, func(c *Comm) { c.AllReduceSum(ring[c.Rank()]) })
+			g2 := NewGroup(p)
+			runCollective(g2, func(c *Comm) { c.NaiveAllReduceSum(naive[c.Rank()]) })
+			for rank := 0; rank < p; rank++ {
+				for i := 0; i < n; i++ {
+					if math.Abs(ring[rank][i]-naive[rank][i]) > 1e-9 {
+						t.Fatalf("p=%d n=%d rank=%d elem=%d: ring %v naive %v",
+							p, n, rank, i, ring[rank][i], naive[rank][i])
+					}
+				}
+			}
+			// All ranks of the ring result must also be bit-identical to
+			// each other — the invariant the dist trainer builds on.
+			for rank := 1; rank < p; rank++ {
+				for i := 0; i < n; i++ {
+					if ring[rank][i] != ring[0][i] {
+						t.Fatalf("p=%d n=%d: ranks 0 and %d differ bitwise at elem %d",
+							p, n, rank, i)
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestBroadcast(t *testing.T) {
 	for _, p := range []int{1, 2, 4, 6} {
 		for root := 0; root < p; root++ {

@@ -1,0 +1,337 @@
+// Package dist implements the paper's headline contribution: synchronous
+// data-parallel VQMC training (Section 3.2, Figures 3-4). L identical model
+// replicas — goroutine "devices" — each sample a private mini-batch from
+// their own rng stream, evaluate local energies, and form a local
+// REINFORCE-style gradient; the replicas then synchronize through a real
+// chunked ring all-reduce (package comm) that averages the gradient and
+// combines the energy statistics, and every replica applies the identical
+// averaged gradient through its own optimizer instance.
+//
+// Because the ring all-reduce leaves bit-identical bytes in every rank
+// (each chunk is reduced on exactly one owner and then circulated by copy,
+// never re-summed), and every optimizer starts from the same state, replica
+// parameters remain bit-identical across the whole run *by construction* —
+// no broadcast resynchronization is ever needed. The test suite pins this
+// invariant with exact (==) comparisons, mirroring what package modelpar
+// guarantees for the model-parallel dimension.
+//
+// The effective batch is devices x miniBatch: fixing miniBatch and growing
+// the device count grows the batch at near-constant step time, which is the
+// mechanism behind the paper's Figure 4 convergence improvements and
+// Figure 3 weak scaling.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"github.com/vqmc-scale/parvqmc/internal/comm"
+	"github.com/vqmc-scale/parvqmc/internal/core"
+	"github.com/vqmc-scale/parvqmc/internal/hamiltonian"
+	"github.com/vqmc-scale/parvqmc/internal/nn"
+	"github.com/vqmc-scale/parvqmc/internal/optimizer"
+	"github.com/vqmc-scale/parvqmc/internal/sampler"
+	"github.com/vqmc-scale/parvqmc/internal/tensor"
+)
+
+// Replica is one data-parallel device: a full copy of the model, a sampler
+// drawing from that copy with its own rng stream, and a private optimizer
+// instance. All replicas must be constructed with identical initial
+// parameters (same init seed); New verifies this.
+type Replica struct {
+	Model *nn.MADE
+	Smp   sampler.Sampler
+	Opt   optimizer.Optimizer
+}
+
+// replicaState is the per-replica workspace reused across iterations so the
+// steady-state loop allocates nothing on the hot path.
+type replicaState struct {
+	cm     *comm.Comm
+	ev     nn.GradEvaluator
+	batch  *sampler.Batch
+	locals []float64
+	gbuf   tensor.Vector // one sample's grad-log-psi
+	// acc packs the collective payload: [gradient (d), energy sum, energy
+	// sum of squares]. One ring all-reduce per iteration moves everything.
+	acc tensor.Vector
+}
+
+// Timings decomposes one replica's cumulative wall-clock time by phase —
+// the per-iteration breakdown behind the paper's Figure 3 discussion. Sync
+// covers the ring all-reduce (and therefore any load-imbalance wait).
+type Timings struct {
+	Sample, Energy, Grad, Sync, Update time.Duration
+}
+
+// Total returns the summed time across phases.
+func (t Timings) Total() time.Duration {
+	return t.Sample + t.Energy + t.Grad + t.Sync + t.Update
+}
+
+// Trainer coordinates synchronous data-parallel VQMC across the replicas.
+type Trainer struct {
+	H    hamiltonian.Hamiltonian
+	Reps []Replica
+
+	mb    int // per-replica mini-batch
+	d     int // parameter count
+	group *comm.Group
+	state []*replicaState
+	// timings are replica 0's phase times, representative because the
+	// all-reduce barrier equalizes iteration time across replicas.
+	timings Timings
+}
+
+// New assembles a data-parallel trainer over the replicas. It validates
+// that the replica list is nonempty, miniBatch is positive, every replica
+// is fully populated, all models share the Hamiltonian's site count and one
+// parameter shape, and the initial parameter vectors are bit-identical.
+func New(h hamiltonian.Hamiltonian, reps []Replica, miniBatch int) (*Trainer, error) {
+	if len(reps) == 0 {
+		return nil, fmt.Errorf("dist: no replicas")
+	}
+	if miniBatch <= 0 {
+		return nil, fmt.Errorf("dist: miniBatch must be positive, got %d", miniBatch)
+	}
+	n := h.N()
+	for r, rep := range reps {
+		if rep.Model == nil || rep.Smp == nil || rep.Opt == nil {
+			return nil, fmt.Errorf("dist: replica %d is missing a model, sampler, or optimizer", r)
+		}
+		if rep.Model.NumSites() != n {
+			return nil, fmt.Errorf("dist: replica %d has %d sites, Hamiltonian has %d",
+				r, rep.Model.NumSites(), n)
+		}
+		if rep.Model.NumParams() != reps[0].Model.NumParams() {
+			return nil, fmt.Errorf("dist: replica %d has %d parameters, replica 0 has %d",
+				r, rep.Model.NumParams(), reps[0].Model.NumParams())
+		}
+	}
+	t := &Trainer{
+		H:     h,
+		Reps:  reps,
+		mb:    miniBatch,
+		d:     reps[0].Model.NumParams(),
+		group: comm.NewGroup(len(reps)),
+	}
+	if err := t.CheckConsistent(); err != nil {
+		return nil, fmt.Errorf("dist: replicas must start from identical parameters: %w", err)
+	}
+	t.state = make([]*replicaState, len(reps))
+	for r, rep := range reps {
+		t.state[r] = &replicaState{
+			cm:     t.group.Rank(r),
+			ev:     rep.Model.NewGradEvaluator(),
+			batch:  sampler.NewBatch(miniBatch, n),
+			locals: make([]float64, miniBatch),
+			gbuf:   tensor.NewVector(t.d),
+			acc:    tensor.NewVector(t.d + 2),
+		}
+	}
+	return t, nil
+}
+
+// Devices returns the replica count L.
+func (t *Trainer) Devices() int { return len(t.Reps) }
+
+// MiniBatch returns the per-replica batch size.
+func (t *Trainer) MiniBatch() int { return t.mb }
+
+// EffectiveBatch returns devices x miniBatch, the global samples per step.
+func (t *Trainer) EffectiveBatch() int { return len(t.Reps) * t.mb }
+
+// Timings returns replica 0's cumulative per-phase wall-clock times.
+func (t *Trainer) Timings() Timings { return t.timings }
+
+// Traffic reports the cumulative all-reduce payload bytes and message count
+// summed over replicas — the communication side of the scaling story.
+func (t *Trainer) Traffic() (bytes, messages int64) {
+	for _, st := range t.state {
+		bytes += st.cm.BytesSent()
+		messages += st.cm.Messages()
+	}
+	return bytes, messages
+}
+
+// CheckConsistent verifies that all replicas hold bit-identical parameter
+// vectors (exact ==, no tolerance). The synchronous update scheme preserves
+// this invariant, so any difference indicates a broken collective or an
+// optimizer that diverged from its peers.
+func (t *Trainer) CheckConsistent() error {
+	ref := t.Reps[0].Model.Params()
+	for r := 1; r < len(t.Reps); r++ {
+		p := t.Reps[r].Model.Params()
+		if len(p) != len(ref) {
+			return fmt.Errorf("replica %d has %d parameters, replica 0 has %d", r, len(p), len(ref))
+		}
+		for i := range ref {
+			if p[i] != ref[i] {
+				return fmt.Errorf("replica %d parameter %d = %v, replica 0 has %v",
+					r, i, p[i], ref[i])
+			}
+		}
+	}
+	return nil
+}
+
+// replicaStep runs one replica's share of an iteration: sample, evaluate
+// local energies, form the local gradient, all-reduce, update. On return
+// st.acc holds the globally reduced payload (identical bytes on every
+// replica): the averaged gradient in [0,d) and the global energy sum and
+// sum of squares in the last two slots.
+func (t *Trainer) replicaStep(r int) {
+	rep, st := t.Reps[r], t.state[r]
+	timed := r == 0
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
+
+	rep.Smp.Sample(st.batch)
+	var t1 time.Time
+	if timed {
+		t1 = time.Now()
+		t.timings.Sample += t1.Sub(t0)
+	}
+
+	// Each replica is one "device"; intra-replica evaluation is serial
+	// (workers=1) because parallelism comes from running L replicas at once.
+	core.LocalEnergies(t.H, rep.Model, st.batch, 1, st.locals)
+	// One-pass sums, accumulated in sample order exactly like
+	// stats.MeanStd so an L=1 trainer reproduces core.Trainer bitwise.
+	var s, s2 float64
+	for _, l := range st.locals {
+		s += l
+		s2 += l * l
+	}
+	localMean := s / float64(t.mb)
+	var t2 time.Time
+	if timed {
+		t2 = time.Now()
+		t.timings.Energy += t2.Sub(t1)
+	}
+
+	// Local covariance-style gradient (Eq. 5) with the local-batch
+	// baseline: g = (2/mb) sum_k (l_k - localMean) O_k. The accumulation
+	// order matches core.Trainer's single-worker path.
+	st.acc.Fill(0)
+	grad := st.acc[:t.d]
+	for k := 0; k < t.mb; k++ {
+		st.ev.GradLogPsi(st.batch.Row(k), st.gbuf)
+		grad.AXPY(2*(st.locals[k]-localMean)/float64(t.mb), st.gbuf)
+	}
+	st.acc[t.d] = s
+	st.acc[t.d+1] = s2
+	var t3 time.Time
+	if timed {
+		t3 = time.Now()
+		t.timings.Grad += t3.Sub(t2)
+	}
+
+	// One ring all-reduce carries the gradient and the energy statistics.
+	st.cm.AllReduceSum(st.acc)
+	var t4 time.Time
+	if timed {
+		t4 = time.Now()
+		t.timings.Sync += t4.Sub(t3)
+	}
+
+	// Average the summed gradient; every replica performs the identical
+	// floating-point operations on identical bytes, so parameters stay
+	// bit-identical without any broadcast.
+	grad.Scale(1 / float64(len(t.Reps)))
+	rep.Opt.Step(rep.Model.Params(), grad)
+	if timed {
+		t.timings.Update += time.Since(t4)
+	}
+}
+
+// Step runs one synchronous data-parallel iteration and returns the global
+// batch statistics. iter is echoed into the returned record.
+func (t *Trainer) Step(iter int) core.IterStats {
+	var wg sync.WaitGroup
+	wg.Add(len(t.Reps))
+	for r := range t.Reps {
+		go func(r int) {
+			defer wg.Done()
+			t.replicaStep(r)
+		}(r)
+	}
+	wg.Wait()
+	// Every replica holds the same reduced payload; read replica 0.
+	st := t.state[0]
+	b := float64(t.EffectiveBatch())
+	mean := st.acc[t.d] / b
+	v := st.acc[t.d+1]/b - mean*mean
+	if v < 0 {
+		v = 0 // cancellation guard, as in stats.MeanStd
+	}
+	return core.IterStats{Iter: iter, Energy: mean, Std: math.Sqrt(v)}
+}
+
+// Train runs iters iterations, invoking cb (if non-nil) after each, and
+// returns the per-iteration history. Iterations are numbered from 1 as in
+// core.Trainer.
+func (t *Trainer) Train(iters int, cb func(core.IterStats)) []core.IterStats {
+	hist := make([]core.IterStats, 0, iters)
+	for i := 1; i <= iters; i++ {
+		s := t.Step(i)
+		hist = append(hist, s)
+		if cb != nil {
+			cb(s)
+		}
+	}
+	return hist
+}
+
+// Evaluate draws a fresh global batch without updating parameters and
+// returns the mean and standard deviation of the local energy. The batch is
+// spread across replicas (each sampling from its own stream), and the
+// statistics are combined with the same ring collective as training.
+func (t *Trainer) Evaluate(batch int) (mean, std float64) {
+	if batch <= 0 {
+		batch = 1024
+	}
+	l := len(t.Reps)
+	// After the all-reduce every rank holds identical sums; keep rank 0's.
+	var reduced tensor.Vector
+	var wg sync.WaitGroup
+	wg.Add(l)
+	for r := 0; r < l; r++ {
+		go func(r int) {
+			defer wg.Done()
+			// Replica r evaluates rows [r*batch/l, (r+1)*batch/l).
+			cnt := (r+1)*batch/l - r*batch/l
+			acc := tensor.NewVector(3)
+			if cnt > 0 {
+				b := sampler.NewBatch(cnt, t.H.N())
+				t.Reps[r].Smp.Sample(b)
+				locals := make([]float64, cnt)
+				core.LocalEnergies(t.H, t.Reps[r].Model, b, 1, locals)
+				for _, e := range locals {
+					acc[0] += e
+					acc[1] += e * e
+				}
+				acc[2] = float64(cnt)
+			}
+			t.state[r].cm.AllReduceSum(acc)
+			if r == 0 {
+				reduced = acc
+			}
+		}(r)
+	}
+	wg.Wait()
+	acc := reduced
+	if acc[2] == 0 {
+		return 0, 0
+	}
+	mean = acc[0] / acc[2]
+	v := acc[1]/acc[2] - mean*mean
+	if v < 0 {
+		v = 0
+	}
+	return mean, math.Sqrt(v)
+}

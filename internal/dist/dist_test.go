@@ -1,0 +1,244 @@
+package dist
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/vqmc-scale/parvqmc/internal/core"
+	"github.com/vqmc-scale/parvqmc/internal/hamiltonian"
+	"github.com/vqmc-scale/parvqmc/internal/nn"
+	"github.com/vqmc-scale/parvqmc/internal/optimizer"
+	"github.com/vqmc-scale/parvqmc/internal/rng"
+	"github.com/vqmc-scale/parvqmc/internal/sampler"
+)
+
+// buildTrainer assembles L replicas with identical init (initSeed) and
+// independent sampler streams (streamSeed), matching the construction the
+// facade and the experiment harness use.
+func buildTrainer(t testing.TB, n, h, L, mb int, initSeed, streamSeed uint64) *Trainer {
+	t.Helper()
+	tim := hamiltonian.RandomTIM(n, rng.New(77))
+	streams := rng.New(streamSeed).SplitN(L)
+	reps := make([]Replica, L)
+	for r := 0; r < L; r++ {
+		m := nn.NewMADE(n, h, rng.New(initSeed))
+		reps[r] = Replica{
+			Model: m,
+			Smp:   sampler.NewAutoMADE(m, true, 1, streams[r]),
+			Opt:   optimizer.NewAdam(0.01),
+		}
+	}
+	tr, err := New(tim, reps, mb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestReplicaBitIdentity pins the package's core invariant: after every one
+// of 50 synchronous steps with L=4 replicas, all parameter vectors are
+// bit-identical (exact ==, no tolerance).
+func TestReplicaBitIdentity(t *testing.T) {
+	const L = 4
+	tr := buildTrainer(t, 10, 14, L, 8, 3, 4)
+	for step := 1; step <= 50; step++ {
+		tr.Step(step)
+		ref := tr.Reps[0].Model.Params()
+		for r := 1; r < L; r++ {
+			p := tr.Reps[r].Model.Params()
+			for i := range ref {
+				if p[i] != ref[i] {
+					t.Fatalf("step %d: replica %d param %d = %v, replica 0 has %v",
+						step, r, i, p[i], ref[i])
+				}
+			}
+		}
+		if err := tr.CheckConsistent(); err != nil {
+			t.Fatalf("step %d: CheckConsistent: %v", step, err)
+		}
+	}
+}
+
+// TestDivergenceIsCaught tests the test: an injected single-ULP-scale
+// divergence in one replica must be flagged by CheckConsistent, proving the
+// bit-identity check has teeth.
+func TestDivergenceIsCaught(t *testing.T) {
+	tr := buildTrainer(t, 8, 10, 4, 8, 5, 6)
+	tr.Step(1)
+	if err := tr.CheckConsistent(); err != nil {
+		t.Fatalf("consistent trainer flagged: %v", err)
+	}
+	p := tr.Reps[2].Model.Params()
+	old := p[3]
+	p[3] = math.Nextafter(p[3], math.Inf(1)) // smallest possible divergence
+	err := tr.CheckConsistent()
+	if err == nil {
+		t.Fatal("one-ULP divergence in replica 2 not caught")
+	}
+	if !strings.Contains(err.Error(), "replica 2") {
+		t.Fatalf("error should name the diverged replica: %v", err)
+	}
+	p[3] = old
+	if err := tr.CheckConsistent(); err != nil {
+		t.Fatalf("restored trainer still flagged: %v", err)
+	}
+}
+
+// TestSingleDeviceEquivalence: a dist trainer with L=1 is the same
+// algorithm as core.Trainer — same model init, same rng stream, same batch
+// size must give the same energy trajectory.
+func TestSingleDeviceEquivalence(t *testing.T) {
+	const (
+		n, h     = 8, 12
+		bs       = 64
+		iters    = 30
+		initSeed = 9
+		smpSeed  = 10
+	)
+	tim := hamiltonian.RandomTIM(n, rng.New(77))
+
+	mRef := nn.NewMADE(n, h, rng.New(initSeed))
+	ref := core.New(tim, mRef,
+		sampler.NewAutoMADE(mRef, true, 1, rng.New(smpSeed)),
+		optimizer.NewAdam(0.01), core.Config{BatchSize: bs, Workers: 1})
+	want := ref.Train(iters, nil)
+
+	mDist := nn.NewMADE(n, h, rng.New(initSeed))
+	tr, err := New(tim, []Replica{{
+		Model: mDist,
+		Smp:   sampler.NewAutoMADE(mDist, true, 1, rng.New(smpSeed)),
+		Opt:   optimizer.NewAdam(0.01),
+	}}, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tr.Train(iters, nil)
+
+	if len(got) != len(want) {
+		t.Fatalf("trajectory length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Iter != want[i].Iter {
+			t.Fatalf("iter %d: Iter=%d, want %d", i, got[i].Iter, want[i].Iter)
+		}
+		if got[i].Energy != want[i].Energy || got[i].Std != want[i].Std {
+			t.Fatalf("iter %d: dist (E=%v, s=%v) != core (E=%v, s=%v)",
+				i, got[i].Energy, got[i].Std, want[i].Energy, want[i].Std)
+		}
+	}
+	for i, p := range mDist.Params() {
+		if p != mRef.Params()[i] {
+			t.Fatalf("final param %d: dist %v != core %v", i, p, mRef.Params()[i])
+		}
+	}
+}
+
+// TestTrainImprovesEnergy: a short distributed run on a small TIM must
+// lower the energy from its initial value.
+func TestTrainImprovesEnergy(t *testing.T) {
+	tr := buildTrainer(t, 8, 12, 4, 16, 11, 12)
+	hist := tr.Train(80, nil)
+	if len(hist) != 80 {
+		t.Fatalf("history length %d", len(hist))
+	}
+	first, last := hist[0].Energy, hist[len(hist)-1].Energy
+	if !(last < first) {
+		t.Fatalf("energy did not improve: %v -> %v", first, last)
+	}
+	for i, s := range hist {
+		if s.Iter != i+1 {
+			t.Fatalf("hist[%d].Iter = %d, want %d", i, s.Iter, i+1)
+		}
+		if math.IsNaN(s.Energy) || math.IsNaN(s.Std) {
+			t.Fatalf("NaN statistics at iteration %d", i+1)
+		}
+	}
+}
+
+// TestEvaluate checks the collective evaluation path, including batches
+// smaller than the replica count (some replicas contribute zero samples but
+// must still join the collective).
+func TestEvaluate(t *testing.T) {
+	tr := buildTrainer(t, 8, 12, 4, 8, 13, 14)
+	tr.Train(30, nil)
+	mean, std := tr.Evaluate(256)
+	if math.IsNaN(mean) || math.IsNaN(std) || std < 0 {
+		t.Fatalf("bad evaluation: mean=%v std=%v", mean, std)
+	}
+	// TIM ground energy is negative; a trained model should be below zero.
+	if mean >= 0 {
+		t.Fatalf("trained TIM energy %v should be negative", mean)
+	}
+	m2, s2 := tr.Evaluate(3) // fewer samples than the 4 replicas
+	if math.IsNaN(m2) || math.IsNaN(s2) {
+		t.Fatalf("tiny batch evaluation: mean=%v std=%v", m2, s2)
+	}
+	if err := tr.CheckConsistent(); err != nil {
+		t.Fatalf("Evaluate must not perturb parameters: %v", err)
+	}
+}
+
+// TestNewValidation exercises every constructor error path.
+func TestNewValidation(t *testing.T) {
+	n := 6
+	tim := hamiltonian.RandomTIM(n, rng.New(1))
+	mk := func(h int, seed uint64) Replica {
+		m := nn.NewMADE(n, h, rng.New(seed))
+		return Replica{
+			Model: m,
+			Smp:   sampler.NewAutoMADE(m, true, 1, rng.New(seed+100)),
+			Opt:   optimizer.NewAdam(0.01),
+		}
+	}
+	if _, err := New(tim, nil, 4); err == nil {
+		t.Fatal("empty replica list should error")
+	}
+	if _, err := New(tim, []Replica{mk(8, 1)}, 0); err == nil {
+		t.Fatal("miniBatch=0 should error")
+	}
+	if _, err := New(tim, []Replica{mk(8, 1), {}}, 4); err == nil {
+		t.Fatal("nil replica fields should error")
+	}
+	if _, err := New(tim, []Replica{mk(8, 1), mk(10, 1)}, 4); err == nil {
+		t.Fatal("mismatched parameter shapes should error")
+	}
+	if _, err := New(tim, []Replica{mk(8, 1), mk(8, 2)}, 4); err == nil {
+		t.Fatal("mismatched initial parameters should error")
+	}
+	other := nn.NewMADE(n+1, 8, rng.New(1))
+	if _, err := New(tim, []Replica{{
+		Model: other,
+		Smp:   sampler.NewAutoMADE(other, true, 1, rng.New(2)),
+		Opt:   optimizer.NewAdam(0.01),
+	}}, 4); err == nil {
+		t.Fatal("site-count mismatch with Hamiltonian should error")
+	}
+	tr, err := New(tim, []Replica{mk(8, 1), mk(8, 1)}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Devices() != 2 || tr.MiniBatch() != 4 || tr.EffectiveBatch() != 8 {
+		t.Fatalf("accessors: L=%d mb=%d eff=%d", tr.Devices(), tr.MiniBatch(), tr.EffectiveBatch())
+	}
+}
+
+// TestTrafficAccounting: the per-step collective payload of the ring
+// all-reduce is 2(L-1)/L of the (d+2)-vector per replica.
+func TestTrafficAccounting(t *testing.T) {
+	const L, steps = 4, 10
+	tr := buildTrainer(t, 8, 12, L, 8, 15, 16)
+	tr.Train(steps, nil)
+	bytes, msgs := tr.Traffic()
+	if msgs != int64(L*2*(L-1)*steps) {
+		t.Fatalf("messages = %d, want %d", msgs, L*2*(L-1)*steps)
+	}
+	payload := int64(tr.Reps[0].Model.NumParams() + 2)
+	want := int64(steps) * 2 * int64(L-1) * payload * 8 // all L replicas combined
+	if bytes < want-int64(steps*L*64) || bytes > want+int64(steps*L*64) {
+		t.Fatalf("bytes = %d, want ~%d", bytes, want)
+	}
+	if tr.Timings().Total() <= 0 {
+		t.Fatal("timings not accumulated")
+	}
+}
