@@ -180,6 +180,52 @@ func BenchmarkFigure4DistributedStep(b *testing.B) {
 	}
 }
 
+// BenchmarkDistSR measures one distributed stochastic-reconfiguration step
+// (4 replicas x 2 workers): sampling, the two pre-solve collectives, and a
+// matrix-free Fisher CG solve with one packed ring all-reduce per
+// iteration. Before timing it audits the traffic accounting: the chunked
+// ring moves exactly 2(p-1)/p of each payload per rank, i.e. 2(p-1)*m
+// doubles per collective summed over ranks, across the 2-float energy
+// collective, the 2d-float gradient|obar collective, and one (d+1)-float
+// Fisher collective per CG ApplyDot.
+func BenchmarkDistSR(b *testing.B) {
+	const n, L, mbs, workers = 16, 4, 8, 2
+	tim := hamiltonian.RandomTIM(n, rng.New(1))
+	streams := rng.New(2).SplitN(L)
+	reps := make([]dist.Replica, L)
+	for r := 0; r < L; r++ {
+		m := nn.NewMADE(n, 32, rng.New(99))
+		reps[r] = dist.Replica{
+			Model:   m,
+			Smp:     sampler.NewAutoMADE(m, true, 1, streams[r]),
+			Opt:     optimizer.NewSGD(0.1),
+			SR:      optimizer.NewSR(1e-3),
+			Workers: workers,
+		}
+	}
+	tr, err := dist.New(tim, reps, mbs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const audit = 3
+	d := tr.Reps[0].Model.NumParams()
+	tr.Train(audit, nil)
+	bytes, _ := tr.Traffic()
+	applies := tr.FisherApplies()
+	if applies < audit {
+		b.Fatalf("only %d Fisher collectives after %d SR steps", applies, audit)
+	}
+	want := 8 * 2 * int64(L-1) * (audit*int64(2+2*d) + applies*int64(d+1))
+	if bytes != want {
+		b.Fatalf("ring traffic %d bytes, analytic 2(p-1)/p count gives %d (d=%d, applies=%d)",
+			bytes, want, d, applies)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Step(i)
+	}
+}
+
 // BenchmarkTable6ModeledTimes evaluates the modeled time table across all
 // configurations and dimensions.
 func BenchmarkTable6ModeledTimes(b *testing.B) {

@@ -39,6 +39,7 @@ func main() {
 		thin    = flag.Int("mcmc-thin", 0, "MCMC thinning (0 = none)")
 		chains  = flag.Int("mcmc-chains", 0, "MCMC chains (0 = 2)")
 		devices = flag.Int("devices", 1, "data-parallel device count (made only)")
+		workers = flag.Int("workers", 0, "CPU workers (serial: 0 = all cores; per replica with -devices: 0 = 1)")
 		mbs     = flag.Int("mbs", 0, "per-device mini-batch for -devices > 1")
 		doExact = flag.Bool("exact", false, "also compute the exact ground energy (small n)")
 		curve   = flag.Bool("curve", false, "print the per-iteration training curve")
@@ -59,7 +60,7 @@ func main() {
 	o := parvqmc.Options{
 		Model: *model, Sampler: *smp, Optimizer: *opt, LearningRate: *lr,
 		StochasticReconfig: *sr, Hidden: *hidden, BatchSize: *batch,
-		Iterations: *iters, EvalBatch: *evalB, Seed: *seed,
+		Iterations: *iters, EvalBatch: *evalB, Workers: *workers, Seed: *seed,
 		MCMCBurnIn: *burnIn, MCMCThin: *thin, MCMCChains: *chains,
 	}
 

@@ -1,0 +1,60 @@
+package comm
+
+// Packed is a reusable collective payload that lays several logical pieces
+// (vectors and scalars) out in one contiguous buffer, so a single ring
+// AllReduceSum moves all of them. Fusing pieces matters for latency-bound
+// collectives: the chunked ring pays 2(p-1) message latencies per call
+// regardless of payload size, so k separate small reductions cost k times
+// the latency of one packed reduction.
+//
+// The distributed stochastic-reconfiguration path uses it to ship the local
+// partial Fisher-vector product together with the scalar dot-products the
+// CG recurrence needs, keeping the solve at exactly one collective per
+// iteration.
+//
+// Because every rank packs with the same layout, the reduced buffer is
+// bit-identical on all ranks (the ring reduces each chunk on exactly one
+// owner), and so is every section view of it.
+type Packed struct {
+	buf  []float64
+	offs []int // offs[i] is the start of section i; offs[len] == len(buf)
+}
+
+// NewPacked builds a packed payload with one section per length. Lengths
+// must be non-negative and sum to at least 1.
+func NewPacked(lens ...int) *Packed {
+	offs := make([]int, len(lens)+1)
+	for i, l := range lens {
+		if l < 0 {
+			panic("comm: negative section length")
+		}
+		offs[i+1] = offs[i] + l
+	}
+	if offs[len(lens)] == 0 {
+		panic("comm: empty packed payload")
+	}
+	return &Packed{buf: make([]float64, offs[len(lens)]), offs: offs}
+}
+
+// Buf returns the whole contiguous buffer (all sections back to back).
+func (p *Packed) Buf() []float64 { return p.buf }
+
+// Len returns the total element count.
+func (p *Packed) Len() int { return len(p.buf) }
+
+// Section returns section i as a slice aliasing the buffer.
+func (p *Packed) Section(i int) []float64 {
+	return p.buf[p.offs[i]:p.offs[i+1]]
+}
+
+// Zero clears every section.
+func (p *Packed) Zero() {
+	for i := range p.buf {
+		p.buf[i] = 0
+	}
+}
+
+// AllReduce sums the packed payload elementwise across all ranks of c's
+// group with one ring all-reduce, leaving identical bytes in every rank's
+// buffer.
+func (p *Packed) AllReduce(c *Comm) { c.AllReduceSum(p.buf) }

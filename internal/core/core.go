@@ -63,6 +63,11 @@ type IterStats struct {
 	Iter   int
 	Energy float64 // batch mean of the local energy (red curve, Fig. 2)
 	Std    float64 // batch std-dev of the local energy (blue curve, Fig. 2)
+	// SRIters and SRResidual report the stochastic-reconfiguration CG solve
+	// of this iteration (zero when SR is disabled): iterations run and the
+	// final relative residual.
+	SRIters    int
+	SRResidual float64
 }
 
 // Timings accumulates wall-clock time per phase across iterations.
@@ -96,6 +101,10 @@ type Trainer struct {
 	evals   []nn.GradEvaluator
 	iter    int
 	timings Timings
+	// Evaluation workspace, cached across EvaluateBest calls so TrainUntil
+	// (which evaluates after every iteration) allocates nothing per step.
+	evalBatch  *sampler.Batch
+	evalLocals []float64
 }
 
 // New assembles a trainer. BatchSize defaults to 1024.
@@ -156,13 +165,31 @@ func (t *Trainer) Step() IterStats {
 	t.timings.Grad += t3.Sub(t2)
 
 	step := t.grad
+	stats := IterStats{Iter: t.iter, Energy: mean, Std: std}
 	if t.cfg.SR != nil {
 		step = t.cfg.SR.Precondition(t.ows, t.grad)
+		solve := t.cfg.SR.LastSolve()
+		stats.SRIters, stats.SRResidual = solve.Iterations, solve.Residual
 	}
 	t.Opt.Step(t.Model.Params(), step)
 	t.timings.Update += time.Since(t3)
 
-	return IterStats{Iter: t.iter, Energy: mean, Std: std}
+	return stats
+}
+
+// FillOws evaluates GradLogPsi of every batch row into the corresponding
+// ows row, partitioning rows across the per-worker evaluators (evals must
+// hold at least as many evaluators as worker ranges). Rows are independent,
+// so the result is bitwise identical for every worker count — the property
+// the distributed trainer's two-level replica x worker scheme relies on.
+func FillOws(evals []nn.GradEvaluator, b *sampler.Batch, ows *tensor.Batch, workers int) {
+	ranges := parallel.Partition(b.N, workers)
+	parallel.ForEach(len(ranges), workers, func(w int) {
+		ev := evals[w]
+		for k := ranges[w].Lo; k < ranges[w].Hi; k++ {
+			ev.GradLogPsi(b.Row(k), ows.Sample(k))
+		}
+	})
 }
 
 // computeGradient forms g = (2/B) sum_k (l_k - mean) O_k. Under SR the
@@ -172,14 +199,8 @@ func (t *Trainer) Step() IterStats {
 func (t *Trainer) computeGradient(mean float64) {
 	bs := t.batch.N
 	d := t.Model.NumParams()
-	ranges := parallel.Partition(bs, t.cfg.Workers)
 	if t.ows != nil {
-		parallel.ForEach(len(ranges), t.cfg.Workers, func(w int) {
-			ev := t.evals[w]
-			for k := ranges[w].Lo; k < ranges[w].Hi; k++ {
-				ev.GradLogPsi(t.batch.Row(k), t.ows.Sample(k))
-			}
-		})
+		FillOws(t.evals, t.batch, t.ows, t.cfg.Workers)
 		for i := range t.grad {
 			t.grad[i] = 0
 		}
@@ -188,6 +209,7 @@ func (t *Trainer) computeGradient(mean float64) {
 		}
 		return
 	}
+	ranges := parallel.Partition(bs, t.cfg.Workers)
 	parts := make([]tensor.Vector, len(ranges))
 	parallel.ForEach(len(ranges), t.cfg.Workers, func(w int) {
 		ev := t.evals[w]
@@ -236,9 +258,12 @@ func (t *Trainer) EvaluateBest(batchSize int) (mean, std, best float64, argBest 
 	if batchSize <= 0 {
 		batchSize = 1024
 	}
-	b := sampler.NewBatch(batchSize, t.H.N())
+	if t.evalBatch == nil || t.evalBatch.N != batchSize {
+		t.evalBatch = sampler.NewBatch(batchSize, t.H.N())
+		t.evalLocals = make([]float64, batchSize)
+	}
+	b, locals := t.evalBatch, t.evalLocals
 	t.Smp.Sample(b)
-	locals := make([]float64, batchSize)
 	LocalEnergies(t.H, t.Model, b, t.cfg.Workers, locals)
 	mean, std = stats.MeanStd(locals)
 	best = locals[0]

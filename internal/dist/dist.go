@@ -2,10 +2,10 @@
 // data-parallel VQMC training (Section 3.2, Figures 3-4). L identical model
 // replicas — goroutine "devices" — each sample a private mini-batch from
 // their own rng stream, evaluate local energies, and form a local
-// REINFORCE-style gradient; the replicas then synchronize through a real
-// chunked ring all-reduce (package comm) that averages the gradient and
-// combines the energy statistics, and every replica applies the identical
-// averaged gradient through its own optimizer instance.
+// gradient contribution; the replicas then synchronize through a real
+// chunked ring all-reduce (package comm) that combines the gradient and the
+// energy statistics, and every replica applies the identical averaged
+// update through its own optimizer instance.
 //
 // Because the ring all-reduce leaves bit-identical bytes in every rank
 // (each chunk is reduced on exactly one owner and then circulated by copy,
@@ -14,6 +14,25 @@
 // no broadcast resynchronization is ever needed. The test suite pins this
 // invariant with exact (==) comparisons, mirroring what package modelpar
 // guarantees for the model-parallel dimension.
+//
+// Two levels of parallelism compose here, modeling node x GPU hierarchies:
+// the replicas are the outer data-parallel dimension, and each replica can
+// additionally fan its local-energy and gradient evaluation across Workers
+// goroutines. Worker partitioning only changes which goroutine computes
+// each independent row, and the per-sample reduction stays a deterministic
+// ordered loop, so the trained parameters are bitwise independent of every
+// replica's worker count — replicas with different Workers still stay
+// bit-identical to each other.
+//
+// With a Replica.SR preconditioner set, the trainer runs *distributed
+// stochastic reconfiguration*: each replica keeps only its private O_k rows
+// (miniBatch x d), and the Fisher solve runs matrix-free CG where every
+// iteration forms the local partial Fisher-vector product and combines it —
+// packed together with the scalar dot-product CG needs — in exactly one
+// ring all-reduce (the sample-distributed formulation of Neuscamman,
+// Umrigar & Chan, arXiv:1108.0900). The O_k batch is never gathered on one
+// device, which is what lets the parameter and sample counts scale
+// independently.
 //
 // The effective batch is devices x miniBatch: fixing miniBatch and growing
 // the device count grows the batch at near-constant step time, which is the
@@ -44,31 +63,84 @@ type Replica struct {
 	Model *nn.MADE
 	Smp   sampler.Sampler
 	Opt   optimizer.Optimizer
+	// SR optionally preconditions the gradient with distributed stochastic
+	// reconfiguration. Either every replica carries a private SR instance
+	// (identical configuration, distinct pointers — use SR.Clone) or none
+	// does; New verifies both.
+	SR *optimizer.SR
+	// Workers fans this replica's local-energy and gradient evaluation
+	// across up to Workers goroutines (<=1 means serial). The worker count
+	// is a pure throughput knob: trained parameters are bitwise identical
+	// for any mix of worker counts across replicas.
+	Workers int
+}
+
+// distFisher is the distributed FisherOp: it owns one replica's private O_k
+// rows and combines the one-pass partial statistics of every replica with a
+// single packed ring all-reduce per ApplyDot. All replicas run the CG
+// recurrence in lockstep on bit-identical reduced bytes.
+type distFisher struct {
+	cm      *comm.Comm
+	ows     *tensor.Batch
+	pack    *comm.Packed // [ partial Fisher-vector product (d) | partial p.Ap scalar (1) ]
+	tbuf    []float64    // miniBatch per-sample dot products
+	obar    tensor.Vector
+	lambda  float64
+	batchN  float64 // global sample count L*miniBatch
+	workers int
+	applies *int64 // collective counter, non-nil on rank 0 only
+}
+
+func (f *distFisher) Dim() int { return f.ows.Dim }
+
+func (f *distFisher) ApplyDot(v, out tensor.Vector) float64 {
+	// The local sweep writes straight into the packed collective buffer:
+	// [partial S-product | partial p.Ap scalar], one all-reduce total.
+	optimizer.FisherPartial(f.ows, v, f.pack.Buf(), f.tbuf, f.workers)
+	f.pack.AllReduce(f.cm)
+	if f.applies != nil {
+		*f.applies++
+	}
+	return optimizer.FisherFinish(f.pack.Buf(), f.obar, v, out, f.lambda, f.batchN)
 }
 
 // replicaState is the per-replica workspace reused across iterations so the
 // steady-state loop allocates nothing on the hot path.
 type replicaState struct {
-	cm     *comm.Comm
-	ev     nn.GradEvaluator
-	batch  *sampler.Batch
-	locals []float64
-	gbuf   tensor.Vector // one sample's grad-log-psi
-	// acc packs the collective payload: [gradient (d), energy sum, energy
-	// sum of squares]. One ring all-reduce per iteration moves everything.
+	cm      *comm.Comm
+	evals   []nn.GradEvaluator // one per worker
+	batch   *sampler.Batch
+	locals  []float64
+	gbuf    tensor.Vector // one sample's grad-log-psi (serial streaming path)
+	workers int
+	// acc packs the REINFORCE collective payload: [gradient (d), energy
+	// sum, energy sum of squares]. One ring all-reduce per iteration moves
+	// everything.
 	acc tensor.Vector
+	// ows holds the replica's private O_k rows (miniBatch x d), allocated
+	// when SR needs them for the Fisher solve or when workers > 1
+	// materializes rows before the ordered reduction.
+	ows *tensor.Batch
+	// SR-mode collective payloads: ebuf carries [energy sum, energy sum of
+	// squares] (the global mean must exist before the gradient is formed),
+	// gpack carries [gradient partial (d) | O-row sum (d)].
+	ebuf   []float64
+	gpack  *comm.Packed
+	fisher *distFisher
 }
 
 // Timings decomposes one replica's cumulative wall-clock time by phase —
 // the per-iteration breakdown behind the paper's Figure 3 discussion. Sync
-// covers the ring all-reduce (and therefore any load-imbalance wait).
+// covers the pre-solve ring all-reduces (and therefore any load-imbalance
+// wait); Precond covers the SR CG solve including the per-iteration
+// collectives it issues.
 type Timings struct {
-	Sample, Energy, Grad, Sync, Update time.Duration
+	Sample, Energy, Grad, Sync, Precond, Update time.Duration
 }
 
 // Total returns the summed time across phases.
 func (t Timings) Total() time.Duration {
-	return t.Sample + t.Energy + t.Grad + t.Sync + t.Update
+	return t.Sample + t.Energy + t.Grad + t.Sync + t.Precond + t.Update
 }
 
 // Trainer coordinates synchronous data-parallel VQMC across the replicas.
@@ -76,19 +148,26 @@ type Trainer struct {
 	H    hamiltonian.Hamiltonian
 	Reps []Replica
 
-	mb    int // per-replica mini-batch
-	d     int // parameter count
+	mb    int     // per-replica mini-batch
+	d     int     // parameter count
+	bf    float64 // effective batch as float64
+	sr    bool    // stochastic reconfiguration enabled
 	group *comm.Group
 	state []*replicaState
 	// timings are replica 0's phase times, representative because the
 	// all-reduce barrier equalizes iteration time across replicas.
 	timings Timings
+	// fisherApplies counts distributed Fisher collectives (one per CG
+	// ApplyDot, every replica participating); written by rank 0 only.
+	fisherApplies int64
 }
 
 // New assembles a data-parallel trainer over the replicas. It validates
 // that the replica list is nonempty, miniBatch is positive, every replica
 // is fully populated, all models share the Hamiltonian's site count and one
-// parameter shape, and the initial parameter vectors are bit-identical.
+// parameter shape, the SR preconditioners are either absent everywhere or
+// private identically-configured instances everywhere, and the initial
+// parameter vectors are bit-identical.
 func New(h hamiltonian.Hamiltonian, reps []Replica, miniBatch int) (*Trainer, error) {
 	if len(reps) == 0 {
 		return nil, fmt.Errorf("dist: no replicas")
@@ -97,6 +176,8 @@ func New(h hamiltonian.Hamiltonian, reps []Replica, miniBatch int) (*Trainer, er
 		return nil, fmt.Errorf("dist: miniBatch must be positive, got %d", miniBatch)
 	}
 	n := h.N()
+	sr0 := reps[0].SR
+	seenSR := make(map[*optimizer.SR]int, len(reps))
 	for r, rep := range reps {
 		if rep.Model == nil || rep.Smp == nil || rep.Opt == nil {
 			return nil, fmt.Errorf("dist: replica %d is missing a model, sampler, or optimizer", r)
@@ -109,12 +190,27 @@ func New(h hamiltonian.Hamiltonian, reps []Replica, miniBatch int) (*Trainer, er
 			return nil, fmt.Errorf("dist: replica %d has %d parameters, replica 0 has %d",
 				r, rep.Model.NumParams(), reps[0].Model.NumParams())
 		}
+		if (rep.SR != nil) != (sr0 != nil) {
+			return nil, fmt.Errorf("dist: replica %d SR presence differs from replica 0 (all or none)", r)
+		}
+		if rep.SR != nil {
+			if prev, dup := seenSR[rep.SR]; dup {
+				return nil, fmt.Errorf("dist: replicas %d and %d share one SR instance; each needs a private clone", prev, r)
+			}
+			seenSR[rep.SR] = r
+			if rep.SR.Lambda != sr0.Lambda || rep.SR.Tol != sr0.Tol ||
+				rep.SR.MaxIter != sr0.MaxIter || rep.SR.MaxStepNorm != sr0.MaxStepNorm {
+				return nil, fmt.Errorf("dist: replica %d SR configuration differs from replica 0; the lockstep CG needs identical settings", r)
+			}
+		}
 	}
 	t := &Trainer{
 		H:     h,
 		Reps:  reps,
 		mb:    miniBatch,
 		d:     reps[0].Model.NumParams(),
+		bf:    float64(len(reps) * miniBatch),
+		sr:    sr0 != nil,
 		group: comm.NewGroup(len(reps)),
 	}
 	if err := t.CheckConsistent(); err != nil {
@@ -122,14 +218,43 @@ func New(h hamiltonian.Hamiltonian, reps []Replica, miniBatch int) (*Trainer, er
 	}
 	t.state = make([]*replicaState, len(reps))
 	for r, rep := range reps {
-		t.state[r] = &replicaState{
-			cm:     t.group.Rank(r),
-			ev:     rep.Model.NewGradEvaluator(),
-			batch:  sampler.NewBatch(miniBatch, n),
-			locals: make([]float64, miniBatch),
-			gbuf:   tensor.NewVector(t.d),
-			acc:    tensor.NewVector(t.d + 2),
+		workers := rep.Workers
+		if workers < 1 {
+			workers = 1
 		}
+		st := &replicaState{
+			cm:      t.group.Rank(r),
+			evals:   make([]nn.GradEvaluator, workers),
+			batch:   sampler.NewBatch(miniBatch, n),
+			locals:  make([]float64, miniBatch),
+			gbuf:    tensor.NewVector(t.d),
+			workers: workers,
+			acc:     tensor.NewVector(t.d + 2),
+		}
+		for w := range st.evals {
+			st.evals[w] = rep.Model.NewGradEvaluator()
+		}
+		if t.sr || workers > 1 {
+			st.ows = tensor.NewBatch(miniBatch, t.d)
+		}
+		if t.sr {
+			st.ebuf = make([]float64, 2)
+			st.gpack = comm.NewPacked(t.d, t.d)
+			st.fisher = &distFisher{
+				cm:      st.cm,
+				ows:     st.ows,
+				pack:    comm.NewPacked(t.d, 1),
+				tbuf:    make([]float64, miniBatch),
+				obar:    tensor.NewVector(t.d),
+				lambda:  rep.SR.Lambda,
+				batchN:  t.bf,
+				workers: workers,
+			}
+			if r == 0 {
+				st.fisher.applies = &t.fisherApplies
+			}
+		}
+		t.state[r] = st
 	}
 	return t, nil
 }
@@ -143,11 +268,17 @@ func (t *Trainer) MiniBatch() int { return t.mb }
 // EffectiveBatch returns devices x miniBatch, the global samples per step.
 func (t *Trainer) EffectiveBatch() int { return len(t.Reps) * t.mb }
 
+// SREnabled reports whether the trainer runs distributed stochastic
+// reconfiguration.
+func (t *Trainer) SREnabled() bool { return t.sr }
+
 // Timings returns replica 0's cumulative per-phase wall-clock times.
 func (t *Trainer) Timings() Timings { return t.timings }
 
 // Traffic reports the cumulative all-reduce payload bytes and message count
-// summed over replicas — the communication side of the scaling story.
+// summed over replicas — the communication side of the scaling story. Under
+// SR it includes the per-step energy and gradient collectives and every
+// per-CG-iteration Fisher collective.
 func (t *Trainer) Traffic() (bytes, messages int64) {
 	for _, st := range t.state {
 		bytes += st.cm.BytesSent()
@@ -155,6 +286,11 @@ func (t *Trainer) Traffic() (bytes, messages int64) {
 	}
 	return bytes, messages
 }
+
+// FisherApplies reports how many distributed Fisher-vector collectives the
+// SR solves have issued so far (one per CG ApplyDot, counted once per
+// collective — every replica participates in each). Zero without SR.
+func (t *Trainer) FisherApplies() int64 { return t.fisherApplies }
 
 // CheckConsistent verifies that all replicas hold bit-identical parameter
 // vectors (exact ==, no tolerance). The synchronous update scheme preserves
@@ -177,29 +313,43 @@ func (t *Trainer) CheckConsistent() error {
 	return nil
 }
 
+// stopwatch accumulates phase durations on the timed replica and is a no-op
+// everywhere else.
+type stopwatch struct {
+	on   bool
+	last time.Time
+}
+
+func startWatch(on bool) stopwatch {
+	sw := stopwatch{on: on}
+	if on {
+		sw.last = time.Now()
+	}
+	return sw
+}
+
+func (s *stopwatch) lap(d *time.Duration) {
+	if !s.on {
+		return
+	}
+	now := time.Now()
+	*d += now.Sub(s.last)
+	s.last = now
+}
+
 // replicaStep runs one replica's share of an iteration: sample, evaluate
-// local energies, form the local gradient, all-reduce, update. On return
-// st.acc holds the globally reduced payload (identical bytes on every
-// replica): the averaged gradient in [0,d) and the global energy sum and
-// sum of squares in the last two slots.
+// local energies, form the gradient contribution, synchronize, update.
 func (t *Trainer) replicaStep(r int) {
 	rep, st := t.Reps[r], t.state[r]
-	timed := r == 0
-	var t0 time.Time
-	if timed {
-		t0 = time.Now()
-	}
+	sw := startWatch(r == 0)
 
 	rep.Smp.Sample(st.batch)
-	var t1 time.Time
-	if timed {
-		t1 = time.Now()
-		t.timings.Sample += t1.Sub(t0)
-	}
+	sw.lap(&t.timings.Sample)
 
-	// Each replica is one "device"; intra-replica evaluation is serial
-	// (workers=1) because parallelism comes from running L replicas at once.
-	core.LocalEnergies(t.H, rep.Model, st.batch, 1, st.locals)
+	// Intra-replica evaluation fans across the replica's workers; rows are
+	// independent, so the values are bitwise identical for every worker
+	// count.
+	core.LocalEnergies(t.H, rep.Model, st.batch, st.workers, st.locals)
 	// One-pass sums, accumulated in sample order exactly like
 	// stats.MeanStd so an L=1 trainer reproduces core.Trainer bitwise.
 	var s, s2 float64
@@ -207,46 +357,90 @@ func (t *Trainer) replicaStep(r int) {
 		s += l
 		s2 += l * l
 	}
-	localMean := s / float64(t.mb)
-	var t2 time.Time
-	if timed {
-		t2 = time.Now()
-		t.timings.Energy += t2.Sub(t1)
+	sw.lap(&t.timings.Energy)
+
+	if t.sr {
+		t.srStep(rep, st, s, s2, &sw)
+		return
 	}
 
-	// Local covariance-style gradient (Eq. 5) with the local-batch
-	// baseline: g = (2/mb) sum_k (l_k - localMean) O_k. The accumulation
-	// order matches core.Trainer's single-worker path.
+	// REINFORCE path: local covariance-style gradient (Eq. 5) with the
+	// local-batch baseline, g = (2/mb) sum_k (l_k - localMean) O_k. The
+	// reduction runs in sample order regardless of the worker count: with
+	// workers > 1 the O_k rows are materialized in parallel first, then
+	// reduced by the same ordered loop the streaming path uses.
+	localMean := s / float64(t.mb)
 	st.acc.Fill(0)
 	grad := st.acc[:t.d]
-	for k := 0; k < t.mb; k++ {
-		st.ev.GradLogPsi(st.batch.Row(k), st.gbuf)
-		grad.AXPY(2*(st.locals[k]-localMean)/float64(t.mb), st.gbuf)
+	if st.ows != nil {
+		core.FillOws(st.evals, st.batch, st.ows, st.workers)
+		for k := 0; k < t.mb; k++ {
+			grad.AXPY(2*(st.locals[k]-localMean)/float64(t.mb), st.ows.Sample(k))
+		}
+	} else {
+		for k := 0; k < t.mb; k++ {
+			st.evals[0].GradLogPsi(st.batch.Row(k), st.gbuf)
+			grad.AXPY(2*(st.locals[k]-localMean)/float64(t.mb), st.gbuf)
+		}
 	}
 	st.acc[t.d] = s
 	st.acc[t.d+1] = s2
-	var t3 time.Time
-	if timed {
-		t3 = time.Now()
-		t.timings.Grad += t3.Sub(t2)
-	}
+	sw.lap(&t.timings.Grad)
 
 	// One ring all-reduce carries the gradient and the energy statistics.
 	st.cm.AllReduceSum(st.acc)
-	var t4 time.Time
-	if timed {
-		t4 = time.Now()
-		t.timings.Sync += t4.Sub(t3)
-	}
+	sw.lap(&t.timings.Sync)
 
 	// Average the summed gradient; every replica performs the identical
 	// floating-point operations on identical bytes, so parameters stay
 	// bit-identical without any broadcast.
 	grad.Scale(1 / float64(len(t.Reps)))
 	rep.Opt.Step(rep.Model.Params(), grad)
-	if timed {
-		t.timings.Update += time.Since(t4)
+	sw.lap(&t.timings.Update)
+}
+
+// srStep is the distributed stochastic-reconfiguration tail of an
+// iteration. Unlike the REINFORCE path it centers the gradient with the
+// GLOBAL batch mean, so the update equals serial SR on the pooled batch:
+//
+//  1. a 2-float all-reduce combines the energy statistics (the global mean
+//     must exist before the gradient is formed),
+//  2. one packed all-reduce carries [gradient partial | O-row sum] — the
+//     latter becomes obar for the Fisher operator,
+//  3. the CG solve issues one packed Fisher collective per iteration
+//     through the replica's distFisher op.
+//
+// Every quantity entering the update is reduced to identical bytes first,
+// so the bit-identity invariant holds exactly as in the REINFORCE path.
+func (t *Trainer) srStep(rep Replica, st *replicaState, s, s2 float64, sw *stopwatch) {
+	st.ebuf[0], st.ebuf[1] = s, s2
+	st.cm.AllReduceSum(st.ebuf)
+	sw.lap(&t.timings.Sync)
+	mean := st.ebuf[0] / t.bf
+
+	core.FillOws(st.evals, st.batch, st.ows, st.workers)
+	st.gpack.Zero()
+	grad := tensor.Vector(st.gpack.Section(0))
+	osum := tensor.Vector(st.gpack.Section(1))
+	for k := 0; k < t.mb; k++ {
+		row := st.ows.Sample(k)
+		grad.AXPY(2*(st.locals[k]-mean)/t.bf, row)
+		osum.Add(row)
 	}
+	sw.lap(&t.timings.Grad)
+
+	st.gpack.AllReduce(st.cm)
+	sw.lap(&t.timings.Sync)
+
+	// obar = (reduced O-row sum)/B, the same arithmetic NewBatchFisher
+	// applies serially, so an L=1 trainer matches core.Trainer bitwise.
+	copy(st.fisher.obar, osum)
+	st.fisher.obar.Scale(1 / t.bf)
+	delta := rep.SR.PreconditionOp(st.fisher, grad)
+	sw.lap(&t.timings.Precond)
+
+	rep.Opt.Step(rep.Model.Params(), delta)
+	sw.lap(&t.timings.Update)
 }
 
 // Step runs one synchronous data-parallel iteration and returns the global
@@ -263,13 +457,23 @@ func (t *Trainer) Step(iter int) core.IterStats {
 	wg.Wait()
 	// Every replica holds the same reduced payload; read replica 0.
 	st := t.state[0]
-	b := float64(t.EffectiveBatch())
-	mean := st.acc[t.d] / b
-	v := st.acc[t.d+1]/b - mean*mean
+	var mean, v float64
+	if t.sr {
+		mean = st.ebuf[0] / t.bf
+		v = st.ebuf[1]/t.bf - mean*mean
+	} else {
+		mean = st.acc[t.d] / t.bf
+		v = st.acc[t.d+1]/t.bf - mean*mean
+	}
 	if v < 0 {
 		v = 0 // cancellation guard, as in stats.MeanStd
 	}
-	return core.IterStats{Iter: iter, Energy: mean, Std: math.Sqrt(v)}
+	out := core.IterStats{Iter: iter, Energy: mean, Std: math.Sqrt(v)}
+	if t.sr {
+		solve := t.Reps[0].SR.LastSolve()
+		out.SRIters, out.SRResidual = solve.Iterations, solve.Residual
+	}
+	return out
 }
 
 // Train runs iters iterations, invoking cb (if non-nil) after each, and
@@ -289,8 +493,9 @@ func (t *Trainer) Train(iters int, cb func(core.IterStats)) []core.IterStats {
 
 // Evaluate draws a fresh global batch without updating parameters and
 // returns the mean and standard deviation of the local energy. The batch is
-// spread across replicas (each sampling from its own stream), and the
-// statistics are combined with the same ring collective as training.
+// spread across replicas (each sampling from its own stream and evaluating
+// with its own workers), and the statistics are combined with the same ring
+// collective as training.
 func (t *Trainer) Evaluate(batch int) (mean, std float64) {
 	if batch <= 0 {
 		batch = 1024
@@ -310,7 +515,7 @@ func (t *Trainer) Evaluate(batch int) (mean, std float64) {
 				b := sampler.NewBatch(cnt, t.H.N())
 				t.Reps[r].Smp.Sample(b)
 				locals := make([]float64, cnt)
-				core.LocalEnergies(t.H, t.Reps[r].Model, b, 1, locals)
+				core.LocalEnergies(t.H, t.Reps[r].Model, b, t.state[r].workers, locals)
 				for _, e := range locals {
 					acc[0] += e
 					acc[1] += e * e

@@ -74,20 +74,75 @@ func Figure3(p Preset, out io.Writer, csvDir string) error {
 }
 
 // buildDistTrainer assembles L identical replicas with independent sampler
-// streams for a TIM instance.
-func buildDistTrainer(n, hsz, L, mbs int, seed uint64) (*dist.Trainer, error) {
+// streams for a TIM instance. workers fans each replica's evaluation across
+// that many goroutines (1 = the plain data-parallel scheme); srLambda > 0
+// additionally enables distributed stochastic reconfiguration with a
+// private SR clone per replica.
+func buildDistTrainer(n, hsz, L, mbs, workers int, srLambda float64, seed uint64) (*dist.Trainer, error) {
 	tim := timInstance(n)
 	streams := rng.New(seed).SplitN(L)
+	var proto *optimizer.SR
+	if srLambda > 0 {
+		proto = optimizer.NewSR(srLambda)
+	}
 	reps := make([]dist.Replica, L)
 	for r := 0; r < L; r++ {
 		m := nn.NewMADE(n, hsz, rng.New(seed+999)) // identical init everywhere
+		var opt optimizer.Optimizer = optimizer.NewAdam(0.01)
+		var sr *optimizer.SR
+		if proto != nil {
+			opt = optimizer.NewSGD(0.1) // the paper pairs SR with SGD
+			sr = proto.Clone()
+		}
 		reps[r] = dist.Replica{
-			Model: m,
-			Smp:   sampler.NewAutoMADE(m, true, 1, streams[r]),
-			Opt:   optimizer.NewAdam(0.01),
+			Model:   m,
+			Smp:     sampler.NewAutoMADE(m, true, 1, streams[r]),
+			Opt:     opt,
+			SR:      sr,
+			Workers: workers,
 		}
 	}
 	return dist.New(tim, reps, mbs)
+}
+
+// DistSR evaluates the distributed stochastic-reconfiguration path: for a
+// sweep of replica counts at fixed per-replica batch, it reports the
+// converged energy, the mean CG iteration count of the Fisher solves, and
+// the measured ring traffic per step — the communication cost the
+// one-collective-per-CG-iteration packing keeps linear in the parameter
+// count.
+func DistSR(p Preset, out io.Writer, csvDir string) error {
+	dims := realDims(p)
+	tbl := trace.NewTable(
+		fmt.Sprintf("Distributed SR: energy, CG iterations and traffic (mbs=%d, workers=2, preset %s)", p.MBS, p.Name),
+		"n", "L", "energy", "mean CG iters", "last residual", "MB/step", "fisher collectives")
+	for _, n := range dims {
+		for _, L := range p.GPUCounts {
+			tr, err := buildDistTrainer(n, hiddenMADE(n), L, p.MBS, 2, 1e-3, uint64(80+L))
+			if err != nil {
+				return err
+			}
+			hist := tr.Train(p.Iters, nil)
+			var cg float64
+			for _, s := range hist {
+				cg += float64(s.SRIters)
+			}
+			cg /= float64(len(hist))
+			bytes, _ := tr.Traffic()
+			last := hist[len(hist)-1]
+			tbl.AddRow(n, L, fmt.Sprintf("%.4f", last.Energy), fmt.Sprintf("%.1f", cg),
+				fmt.Sprintf("%.2e", last.SRResidual),
+				fmt.Sprintf("%.3f", float64(bytes)/float64(p.Iters)/1e6),
+				tr.FisherApplies())
+		}
+	}
+	if err := tbl.Render(out); err != nil {
+		return err
+	}
+	if csvDir != "" {
+		return tbl.WriteCSV(filepath.Join(csvDir, "distsr.csv"))
+	}
+	return nil
 }
 
 // Figure4 reproduces the batch-size-vs-convergence result: with a fixed
@@ -108,7 +163,7 @@ func Figure4(p Preset, out io.Writer, csvDir string) error {
 	for _, n := range dims {
 		energies := make([]float64, len(p.GPUCounts))
 		for i, L := range p.GPUCounts {
-			tr, err := buildDistTrainer(n, hiddenMADE(n), L, p.MBS, uint64(60+i))
+			tr, err := buildDistTrainer(n, hiddenMADE(n), L, p.MBS, 1, 0, uint64(60+i))
 			if err != nil {
 				return err
 			}
@@ -185,7 +240,7 @@ func Table6(p Preset, out io.Writer, csvDir string) error {
 	for _, L := range p.GPUCounts {
 		row := []interface{}{L}
 		for _, n := range dims {
-			tr, err := buildDistTrainer(n, hiddenMADE(n), L, p.MBS, uint64(70+L))
+			tr, err := buildDistTrainer(n, hiddenMADE(n), L, p.MBS, 1, 0, uint64(70+L))
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,186 @@
+// Matrix-free Fisher operator machinery behind stochastic reconfiguration.
+//
+// The SR solve is conjugate gradients on (S + lambda I) delta = g where
+// S = E[O O^T] - E[O] E[O]^T is estimated from per-sample log-derivative
+// rows O_k. Everything CG touches is either a replicated d-vector or a batch
+// sum over the O_k rows, so the solve distributes naturally when the rows
+// are sharded across replicas: each replica forms its local partial sums and
+// one all-reduce per CG iteration combines them (the formulation of
+// Neuscamman, Umrigar & Chan, arXiv:1108.0900). The FisherOp interface
+// carries exactly that split: ApplyDot produces both the operator output and
+// the p.Ap inner product from one pass over the rows, so a distributed
+// implementation needs a single collective per call.
+package optimizer
+
+import (
+	"math"
+
+	"github.com/vqmc-scale/parvqmc/internal/linalg"
+	"github.com/vqmc-scale/parvqmc/internal/parallel"
+	"github.com/vqmc-scale/parvqmc/internal/tensor"
+)
+
+// FisherOp applies the regularized Fisher operator A = S + lambda I without
+// materializing it. Implementations are stateful per solve (they hold the
+// O_k rows and the batch mean of O) but must not retain v or out across
+// calls.
+type FisherOp interface {
+	// Dim returns the parameter dimension d.
+	Dim() int
+	// ApplyDot computes out = A v and returns dot(v, out), both assembled
+	// from the same one-pass batch statistics. Distributed implementations
+	// combine their local partials with exactly one collective per call.
+	ApplyDot(v, out tensor.Vector) float64
+}
+
+// FisherPartial performs the local sweep over the O_k rows for a
+// Fisher-vector product, writing into acc (length d+1)
+//
+//	acc[:d] = sum_k O_k (O_k . v)   and   acc[d] = sum_k (O_k . v)^2.
+//
+// The trailing scalar is the same-pass partial of the p.Ap dot product CG
+// needs, which is why distributed SR can pack it alongside the vector in a
+// single all-reduce (acc can alias the packed collective buffer directly).
+// tbuf is an N-length workspace for the per-sample dot products.
+//
+// The sweep is bitwise independent of the worker count: pass 1 computes
+// t_k = O_k . v in parallel over rows (each t_k by exactly one worker),
+// pass 2 computes acc[i] = sum_k t_k O_ki in parallel over COLUMNS, so each
+// element is accumulated in sample order by exactly one worker, and the
+// trailing scalar is reduced serially in sample order. Worker partitioning
+// therefore only changes who computes each independent element — the
+// invariance that lets two-level replica x worker trainers keep bit-exact
+// parity with any other worker configuration.
+func FisherPartial(ows *tensor.Batch, v tensor.Vector, acc, tbuf []float64, workers int) {
+	d := ows.Dim
+	parallel.For(ows.N, workers, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			tbuf[k] = ows.Sample(k).Dot(v)
+		}
+	})
+	parallel.For(d, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			acc[i] = 0
+		}
+		for k := 0; k < ows.N; k++ {
+			tk := tbuf[k]
+			row := ows.Data[k*d : (k+1)*d]
+			for i := lo; i < hi; i++ {
+				acc[i] += tk * row[i]
+			}
+		}
+	})
+	var s float64
+	for k := 0; k < ows.N; k++ {
+		s += tbuf[k] * tbuf[k]
+	}
+	acc[d] = s
+}
+
+// FisherFinish turns globally reduced one-pass statistics (the output of
+// FisherPartial, summed over all replicas) into the operator application
+//
+//	out = acc[:d]/B - (obar.v) obar + lambda v
+//
+// and returns dot(v, out) assembled from the packed scalar:
+// acc[d]/B - (obar.v)^2 + lambda (v.v). The dot is the variance form of
+// p.Ap (non-negative up to rounding for lambda > 0), so CG's positive-
+// definiteness guard keeps working. Every rank of a distributed group
+// executes this on bit-identical reduced bytes, producing bit-identical
+// outputs.
+func FisherFinish(acc []float64, obar, v, out tensor.Vector, lambda, batchN float64) float64 {
+	d := len(out)
+	ov := obar.Dot(v)
+	for i := 0; i < d; i++ {
+		out[i] = acc[i]/batchN - ov*obar[i] + lambda*v[i]
+	}
+	return acc[d]/batchN - ov*ov + lambda*v.Dot(v)
+}
+
+// batchFisher is the serial FisherOp: all O_k rows live in one batch on one
+// device.
+type batchFisher struct {
+	ows     *tensor.Batch
+	obar    tensor.Vector
+	acc     []float64 // d+1 sweep output
+	tbuf    []float64 // N per-sample dot products
+	lambda  float64
+	workers int
+}
+
+// NewBatchFisher builds the serial Fisher operator over a full O_k batch,
+// computing the batch mean obar up front. workers bounds the row sweep
+// parallelism inside ApplyDot.
+func NewBatchFisher(ows *tensor.Batch, lambda float64, workers int) FisherOp {
+	bs := float64(ows.N)
+	obar := tensor.NewVector(ows.Dim)
+	for k := 0; k < ows.N; k++ {
+		obar.Add(ows.Sample(k))
+	}
+	obar.Scale(1 / bs)
+	return &batchFisher{ows: ows, obar: obar,
+		acc: make([]float64, ows.Dim+1), tbuf: make([]float64, ows.N),
+		lambda: lambda, workers: workers}
+}
+
+// Dim implements FisherOp.
+func (f *batchFisher) Dim() int { return f.ows.Dim }
+
+// ApplyDot implements FisherOp.
+func (f *batchFisher) ApplyDot(v, out tensor.Vector) float64 {
+	FisherPartial(f.ows, v, f.acc, f.tbuf, f.workers)
+	return FisherFinish(f.acc, f.obar, v, out, f.lambda, float64(f.ows.N))
+}
+
+// SolveFisherCG runs conjugate gradients on A x = b through a FisherOp,
+// starting from the current contents of x. It mirrors linalg.CG exactly
+// (same update order, same stopping rules) but sources the p.Ap inner
+// product from ApplyDot, so a distributed op pays one collective per
+// iteration instead of two. All control flow depends only on replicated
+// values, so every rank of a distributed group takes identical branches and
+// issues the same number of collectives — the lockstep property the ring
+// all-reduce requires.
+func SolveFisherCG(op FisherOp, b, x tensor.Vector, tol float64, maxIter int) linalg.CGResult {
+	n := len(b)
+	r := make([]float64, n)
+	p := make([]float64, n)
+	ap := tensor.NewVector(n)
+
+	op.ApplyDot(x, ap)
+	var bnorm float64
+	for i := range b {
+		r[i] = b[i] - ap[i]
+		bnorm += b[i] * b[i]
+	}
+	bnorm = math.Sqrt(bnorm)
+	if bnorm == 0 {
+		for i := range x {
+			x[i] = 0
+		}
+		return linalg.CGResult{Converged: true}
+	}
+	copy(p, r)
+	rr := tensor.Vector(r).Dot(tensor.Vector(r))
+	for k := 0; k < maxIter; k++ {
+		if math.Sqrt(rr)/bnorm < tol {
+			return linalg.CGResult{Iterations: k, Residual: math.Sqrt(rr) / bnorm, Converged: true}
+		}
+		pap := op.ApplyDot(p, ap)
+		if pap <= 0 {
+			// Not positive definite along p; bail out with best iterate.
+			return linalg.CGResult{Iterations: k, Residual: math.Sqrt(rr) / bnorm, Converged: false}
+		}
+		alpha := rr / pap
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		rrNew := tensor.Vector(r).Dot(tensor.Vector(r))
+		beta := rrNew / rr
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		rr = rrNew
+	}
+	return linalg.CGResult{Iterations: maxIter, Residual: math.Sqrt(rr) / bnorm, Converged: math.Sqrt(rr)/bnorm < tol}
+}

@@ -1,0 +1,137 @@
+package optimizer
+
+import (
+	"math"
+	"testing"
+
+	"github.com/vqmc-scale/parvqmc/internal/linalg"
+	"github.com/vqmc-scale/parvqmc/internal/rng"
+	"github.com/vqmc-scale/parvqmc/internal/tensor"
+)
+
+// TestFisherPartialWorkerInvariance pins the property the two-level
+// distributed trainer depends on: the sweep output is bitwise identical for
+// every worker count, because each output element is accumulated in sample
+// order by exactly one worker.
+func TestFisherPartialWorkerInvariance(t *testing.T) {
+	r := rng.New(11)
+	d, bs := 17, 29 // deliberately awkward sizes for the partitioner
+	ows := tensor.NewBatch(bs, d)
+	r.FillUniform(ows.Data, -1, 1)
+	v := tensor.NewVector(d)
+	r.FillUniform(v, -1, 1)
+
+	ref := make([]float64, d+1)
+	tbuf := make([]float64, bs)
+	FisherPartial(ows, v, ref, tbuf, 1)
+	for _, w := range []int{2, 3, 5, 8, 64} {
+		acc := make([]float64, d+1)
+		FisherPartial(ows, v, acc, tbuf, w)
+		for i := range ref {
+			if acc[i] != ref[i] {
+				t.Fatalf("workers=%d: acc[%d] = %v, workers=1 gives %v (must be bitwise equal)", w, i, acc[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestFisherApplyDotConsistent checks that the scalar ApplyDot returns is
+// the inner product of its two outputs (they are assembled from the same
+// pass, so they must agree to rounding).
+func TestFisherApplyDotConsistent(t *testing.T) {
+	r := rng.New(12)
+	d, bs := 10, 25
+	ows := tensor.NewBatch(bs, d)
+	r.FillUniform(ows.Data, -1, 1)
+	v := tensor.NewVector(d)
+	r.FillUniform(v, -1, 1)
+	op := NewBatchFisher(ows, 1e-3, 1)
+	out := tensor.NewVector(d)
+	got := op.ApplyDot(v, out)
+	want := v.Dot(out)
+	if math.Abs(got-want) > 1e-10*math.Max(1, math.Abs(want)) {
+		t.Fatalf("ApplyDot scalar %v != v.(Av) %v", got, want)
+	}
+}
+
+// TestSolveFisherCGMatchesLinalgCG cross-validates the FisherOp-driven CG
+// against the generic linalg.CG on the same SPD system.
+func TestSolveFisherCGMatchesLinalgCG(t *testing.T) {
+	r := rng.New(13)
+	d, bs := 14, 40
+	ows := tensor.NewBatch(bs, d)
+	r.FillUniform(ows.Data, -1, 1)
+	b := tensor.NewVector(d)
+	r.FillUniform(b, -1, 1)
+
+	op := NewBatchFisher(ows, 1e-2, 1)
+	x1 := tensor.NewVector(d)
+	res1 := SolveFisherCG(op, b, x1, 1e-12, 500)
+
+	mv := func(v, out []float64) {
+		op.ApplyDot(tensor.Vector(v), tensor.Vector(out))
+	}
+	x2 := tensor.NewVector(d)
+	res2 := linalg.CG(mv, b, x2, 1e-12, 500)
+
+	if !res1.Converged || !res2.Converged {
+		t.Fatalf("CG did not converge: fisher %+v linalg %+v", res1, res2)
+	}
+	for i := range x1 {
+		if math.Abs(x1[i]-x2[i]) > 1e-9 {
+			t.Fatalf("solutions differ at %d: %v vs %v", i, x1[i], x2[i])
+		}
+	}
+}
+
+// TestPreconditionOpMatchesPrecondition: routing a solve through an
+// explicit serial FisherOp is bitwise the same computation as the
+// convenience Precondition entry point.
+func TestPreconditionOpMatchesPrecondition(t *testing.T) {
+	r := rng.New(14)
+	d, bs := 12, 30
+	ows := tensor.NewBatch(bs, d)
+	r.FillUniform(ows.Data, -1, 1)
+	grad := tensor.NewVector(d)
+	r.FillUniform(grad, -1, 1)
+
+	a := NewSR(1e-3)
+	da := a.Precondition(ows, grad)
+	b := a.Clone()
+	db := b.PreconditionOp(NewBatchFisher(ows, b.Lambda, b.Workers), grad)
+	for i := range da {
+		if da[i] != db[i] {
+			t.Fatalf("delta[%d]: Precondition %v != PreconditionOp %v", i, da[i], db[i])
+		}
+	}
+	if a.LastSolve() != b.LastSolve() {
+		t.Fatalf("solve stats differ: %+v vs %+v", a.LastSolve(), b.LastSolve())
+	}
+}
+
+// TestSRClone: configuration copied, solver state not shared.
+func TestSRClone(t *testing.T) {
+	a := NewSR(1e-2)
+	a.Tol = 1e-9
+	a.MaxIter = 123
+	a.MaxStepNorm = 7
+	a.Workers = 3
+	r := rng.New(15)
+	ows := tensor.NewBatch(20, 6)
+	r.FillUniform(ows.Data, -1, 1)
+	grad := tensor.NewVector(6)
+	r.FillUniform(grad, -1, 1)
+	a.Precondition(ows, grad) // populate warm-start state
+
+	c := a.Clone()
+	if c == a {
+		t.Fatal("Clone returned the same instance")
+	}
+	if c.Lambda != a.Lambda || c.Tol != a.Tol || c.MaxIter != a.MaxIter ||
+		c.MaxStepNorm != a.MaxStepNorm || c.Workers != a.Workers {
+		t.Fatalf("Clone config mismatch: %+v vs %+v", c, a)
+	}
+	if c.delta != nil || c.last.Iterations != 0 {
+		t.Fatal("Clone must not share solver state")
+	}
+}

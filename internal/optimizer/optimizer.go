@@ -8,7 +8,6 @@ import (
 	"math"
 
 	"github.com/vqmc-scale/parvqmc/internal/linalg"
-	"github.com/vqmc-scale/parvqmc/internal/parallel"
 	"github.com/vqmc-scale/parvqmc/internal/tensor"
 )
 
@@ -113,35 +112,24 @@ func NewSR(lambda float64) *SR {
 // the per-sample log-derivative batch ows (one row per sample, dim =
 // len(grad)). The returned slice is reused across calls as a warm start.
 func (s *SR) Precondition(ows *tensor.Batch, grad tensor.Vector) tensor.Vector {
-	d := len(grad)
-	if ows.Dim != d {
+	if ows.Dim != len(grad) {
 		panic("optimizer: SR dimension mismatch")
 	}
-	bs := float64(ows.N)
-	obar := tensor.NewVector(d)
-	for k := 0; k < ows.N; k++ {
-		obar.Add(ows.Sample(k))
-	}
-	obar.Scale(1 / bs)
+	return s.PreconditionOp(NewBatchFisher(ows, s.Lambda, s.Workers), grad)
+}
 
-	workers := s.Workers
-	mv := func(v, out []float64) {
-		// S v = (1/B) sum_k O_k (O_k . v) - obar (obar . v) + lambda v.
-		acc := parallel.ReduceFloat64(ows.N, workers, d, func(lo, hi int, acc []float64) {
-			for k := lo; k < hi; k++ {
-				ok := ows.Sample(k)
-				t := ok.Dot(tensor.Vector(v))
-				for i := range acc {
-					acc[i] += t * ok[i]
-				}
-			}
-		})
-		ov := obar.Dot(tensor.Vector(v))
-		for i := range out {
-			out[i] = acc[i]/bs - ov*obar[i] + s.Lambda*v[i]
-		}
+// PreconditionOp solves (S + lambda I) delta = grad through an arbitrary
+// FisherOp — the entry point for the distributed trainer, whose operator
+// spans the O_k rows of every replica and performs one collective per CG
+// iteration. The warm-start delta, step-norm guard and solve statistics
+// behave exactly as in Precondition; in a distributed group every replica's
+// SR instance must carry identical (Lambda, Tol, MaxIter, MaxStepNorm) so
+// the lockstep CG takes identical branches everywhere.
+func (s *SR) PreconditionOp(op FisherOp, grad tensor.Vector) tensor.Vector {
+	d := op.Dim()
+	if len(grad) != d {
+		panic("optimizer: SR dimension mismatch")
 	}
-
 	if s.delta == nil || len(s.delta) != d {
 		s.delta = tensor.NewVector(d)
 	}
@@ -149,13 +137,22 @@ func (s *SR) Precondition(ows *tensor.Batch, grad tensor.Vector) tensor.Vector {
 	if maxIter <= 0 {
 		maxIter = 200
 	}
-	s.last = linalg.CG(mv, grad, s.delta, s.Tol, maxIter)
+	s.last = SolveFisherCG(op, grad, s.delta, s.Tol, maxIter)
 	if s.MaxStepNorm > 0 {
 		if n := s.delta.Norm2(); n > s.MaxStepNorm {
 			s.delta.Scale(s.MaxStepNorm / n)
 		}
 	}
 	return s.delta
+}
+
+// Clone returns a fresh SR with the same configuration and no solver state
+// (cold warm-start, zeroed statistics). Distributed replicas each hold a
+// private clone so their warm-start vectors evolve independently while the
+// identical configuration keeps the lockstep CG branch-consistent.
+func (s *SR) Clone() *SR {
+	return &SR{Lambda: s.Lambda, Tol: s.Tol, MaxIter: s.MaxIter,
+		Workers: s.Workers, MaxStepNorm: s.MaxStepNorm}
 }
 
 // LastSolve reports the CG result of the most recent Precondition call.

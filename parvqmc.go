@@ -230,6 +230,10 @@ type IterationStat struct {
 	Iteration int
 	Energy    float64 // batch mean local energy
 	Std       float64 // batch std-dev (vanishes at an exact eigenstate)
+	// SRIters and SRResidual report the stochastic-reconfiguration CG
+	// solve of the iteration (zero when SR is disabled).
+	SRIters    int
+	SRResidual float64
 }
 
 // Result summarizes a training run.
@@ -351,7 +355,8 @@ func Train(p *Problem, o Options) (*Result, error) {
 		model:         model,
 	}
 	for _, s := range curve {
-		res.Curve = append(res.Curve, IterationStat{Iteration: s.Iter, Energy: s.Energy, Std: s.Std})
+		res.Curve = append(res.Curve, IterationStat{Iteration: s.Iter, Energy: s.Energy, Std: s.Std,
+			SRIters: s.SRIters, SRResidual: s.SRResidual})
 	}
 	if cut, ok := p.CutOf(mean); ok {
 		res.Cut = cut
@@ -365,6 +370,14 @@ func Train(p *Problem, o Options) (*Result, error) {
 // are combined with a ring all-reduce, and every replica applies the same
 // update. The effective batch is devices*miniBatch. Only MADE+AUTO is
 // supported, matching the paper's scalability experiments.
+//
+// With Options.StochasticReconfig set, the gradient is preconditioned by
+// distributed SR: each replica keeps only its private O_k rows and the
+// matrix-free Fisher CG solve performs one packed ring all-reduce per
+// iteration. Options.Workers (default 1 in distributed mode) additionally
+// fans each replica's local-energy and gradient evaluation across that many
+// goroutines — the two-level replica x worker scheme modeling node x GPU
+// hierarchies. Neither knob perturbs the bit-identity of the replicas.
 func TrainDistributed(p *Problem, o Options, devices, miniBatch int) (*Result, error) {
 	n := p.Sites()
 	if err := o.fill(n); err != nil {
@@ -376,15 +389,23 @@ func TrainDistributed(p *Problem, o Options, devices, miniBatch int) (*Result, e
 	if devices <= 0 || miniBatch <= 0 {
 		return nil, fmt.Errorf("parvqmc: devices and miniBatch must be positive")
 	}
+	// In distributed mode the replicas are the primary parallel dimension,
+	// so per-replica workers default to 1 rather than GOMAXPROCS.
+	workers := o.Workers
+	if workers < 1 {
+		workers = 1
+	}
 	streams := rng.New(o.Seed).SplitN(devices)
 	reps := make([]dist.Replica, devices)
 	for rdev := 0; rdev < devices; rdev++ {
 		m := nn.NewMADE(n, o.Hidden, rng.New(o.Seed+12345)) // identical init
-		opt, _ := o.buildOptimizer()
+		opt, sr := o.buildOptimizer()
 		reps[rdev] = dist.Replica{
-			Model: m,
-			Smp:   sampler.NewAutoMADE(m, true, 1, streams[rdev]),
-			Opt:   opt,
+			Model:   m,
+			Smp:     sampler.NewAutoMADE(m, true, 1, streams[rdev]),
+			Opt:     opt,
+			SR:      sr,
+			Workers: workers,
 		}
 	}
 	tr, err := dist.New(p.ham, reps, miniBatch)
@@ -397,7 +418,8 @@ func TrainDistributed(p *Problem, o Options, devices, miniBatch int) (*Result, e
 	mean, std := tr.Evaluate(o.EvalBatch)
 	res := &Result{Energy: mean, Std: std, TrainTime: elapsed}
 	for _, s := range hist {
-		res.Curve = append(res.Curve, IterationStat{Iteration: s.Iter, Energy: s.Energy, Std: s.Std})
+		res.Curve = append(res.Curve, IterationStat{Iteration: s.Iter, Energy: s.Energy, Std: s.Std,
+			SRIters: s.SRIters, SRResidual: s.SRResidual})
 	}
 	if cut, ok := p.CutOf(mean); ok {
 		res.Cut = cut

@@ -119,6 +119,32 @@ func TestTrainDistributed(t *testing.T) {
 	}
 }
 
+// TestTrainDistributedSR drives the distributed stochastic-reconfiguration
+// route through the facade: 4 replicas x 4 workers, SGD+SR, 50 iterations
+// on TIM n=7 must land within 15% of the exact ground energy.
+func TestTrainDistributedSR(t *testing.T) {
+	p := TIM(7, 11)
+	res, err := TrainDistributed(p, Options{
+		Hidden: 14, Iterations: 50, EvalBatch: 1024,
+		Optimizer: "sgd", StochasticReconfig: true,
+		Workers: 4, Seed: 13,
+	}, 4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactE, err := p.ExactGroundEnergy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := (res.Energy - exactE) / math.Abs(exactE)
+	if gap > 0.15 {
+		t.Fatalf("distributed SR energy %v vs exact %v (gap %.3f)", res.Energy, exactE, gap)
+	}
+	if len(res.Curve) != 50 {
+		t.Fatalf("curve length %d", len(res.Curve))
+	}
+}
+
 func TestSolveMaxCutClassical(t *testing.T) {
 	p := MaxCut(12, 13)
 	var cuts []float64
