@@ -7,6 +7,7 @@
 //	vqmc -problem maxcut -n 50 -model rbm -optimizer sgd -sr
 //	vqmc -problem tim -n 12 -exact            # compare against Lanczos
 //	vqmc -problem tim -n 20 -devices 4 -mbs 4 # data-parallel training
+//	vqmc -problem tim -n 14 -devices 4 -mbs 16 -optimizer sgd -sr -sr-solver pipelined
 package main
 
 import (
@@ -31,6 +32,7 @@ func main() {
 		opt     = flag.String("optimizer", "adam", "optimizer: adam or sgd")
 		lr      = flag.Float64("lr", 0, "learning rate (0 = optimizer default)")
 		sr      = flag.Bool("sr", false, "enable stochastic reconfiguration (natural gradient)")
+		srSolve = flag.String("sr-solver", "cg", "SR Fisher solver: cg (classic) or pipelined (overlapped collectives)")
 		hidden  = flag.Int("hidden", 0, "latent size (0 = paper rule)")
 		batch   = flag.Int("batch", 1024, "training batch size")
 		iters   = flag.Int("iters", 300, "training iterations")
@@ -59,7 +61,7 @@ func main() {
 
 	o := parvqmc.Options{
 		Model: *model, Sampler: *smp, Optimizer: *opt, LearningRate: *lr,
-		StochasticReconfig: *sr, Hidden: *hidden, BatchSize: *batch,
+		StochasticReconfig: *sr, SRSolver: *srSolve, Hidden: *hidden, BatchSize: *batch,
 		Iterations: *iters, EvalBatch: *evalB, Workers: *workers, Seed: *seed,
 		MCMCBurnIn: *burnIn, MCMCThin: *thin, MCMCChains: *chains,
 	}

@@ -1,0 +1,58 @@
+package comm
+
+// Non-blocking collectives. IAllReduceSum initiates the same chunked ring
+// all-reduce as AllReduceSum but returns immediately with a Handle; the
+// exchange (and any simulated link time) runs on a background goroutine so
+// the caller overlaps local compute with the in-flight reduction and pays
+// only max(compute, communication) instead of their sum. This is the
+// MPI_Iallreduce shape the pipelined CG solve is built on.
+//
+// Semantics mirror MPI's one-outstanding-request discipline, enforced at
+// runtime: a rank may have at most one collective (blocking or non-blocking)
+// in flight, every rank must issue its collectives in the same global order,
+// and the buffer passed to IAllReduceSum must not be read or written until
+// Wait returns. Wait must be called exactly once, from the goroutine that
+// owns the Comm; it establishes the happens-before edge that makes the
+// reduced buffer and the traffic counters safe to read.
+
+// Handle is an in-flight non-blocking collective. Wait blocks until the
+// reduction has completed on this rank and the result is visible in the
+// buffer passed at initiation.
+type Handle struct {
+	c      *Comm
+	done   chan struct{}
+	waited bool
+}
+
+// Wait completes the collective. It must be called exactly once per Handle.
+func (h *Handle) Wait() {
+	if h.waited {
+		panic("comm: Handle.Wait called twice")
+	}
+	h.waited = true
+	<-h.done
+	h.c.end()
+}
+
+// IAllReduceSum starts a non-blocking elementwise sum of x across all ranks
+// and returns a Handle. x holds the reduced result after Wait; until then it
+// must not be touched. The traffic moved is identical to AllReduceSum —
+// only the blocking point changes.
+func (c *Comm) IAllReduceSum(x []float64) *Handle {
+	c.begin()
+	c.asyncColl++
+	h := &Handle{c: c, done: make(chan struct{})}
+	if c.g.size == 1 {
+		// Nothing to exchange and RingAllReduceTime(p=1) is zero: complete
+		// immediately so single-rank groups stay goroutine-free and
+		// deterministic.
+		close(h.done)
+		return h
+	}
+	go func() {
+		c.ringReduce(x)
+		c.simulate(len(x))
+		close(h.done)
+	}()
+	return h
+}

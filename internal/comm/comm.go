@@ -19,7 +19,15 @@ type Group struct {
 	size  int
 	right []chan []float64 // right[r]: messages flowing r -> (r+1)%size
 	bcast []chan []float64 // per-rank broadcast mailboxes
+	link  Link             // zero value: ideal network, no simulated cost
 }
+
+// SetLink attaches an alpha-beta link model to the group: every subsequent
+// collective additionally sleeps the modeled ring (or gather) time on each
+// rank, so wall-clock measurements expose the latency that non-blocking
+// collectives can hide behind compute. Call it before any collective runs;
+// it must not race with in-flight collectives.
+func (g *Group) SetLink(l Link) { g.link = l }
 
 // NewGroup creates a communicator group of the given size.
 func NewGroup(size int) *Group {
@@ -48,13 +56,22 @@ func (g *Group) Rank(r int) *Comm {
 }
 
 // Comm is one rank's endpoint. Methods must be called collectively: every
-// rank of the group calls the same method with compatible arguments.
+// rank of the group calls the same method with compatible arguments, in the
+// same order. A Comm is owned by one goroutine: all collective calls
+// (including Handle.Wait) must come from that goroutine, and at most one
+// collective — blocking or non-blocking — may be in flight per rank at a
+// time. Traffic and collective counters are safe to read once every
+// outstanding Handle has been waited on.
 type Comm struct {
 	g    *Group
 	rank int
 	// traffic accounting
 	bytesSent int64
 	messages  int64
+	// collective accounting: blocking calls vs non-blocking initiations.
+	syncColl  int64
+	asyncColl int64
+	inflight  bool
 }
 
 // Rank returns this endpoint's rank.
@@ -68,6 +85,36 @@ func (c *Comm) BytesSent() int64 { return c.bytesSent }
 
 // Messages reports cumulative messages sent by this rank.
 func (c *Comm) Messages() int64 { return c.messages }
+
+// Collectives reports how many blocking collectives this rank has completed
+// and how many non-blocking ones it has initiated. The split is the
+// pipelining metric: a latency-bound solve wants its per-iteration
+// reductions on the async side, where Wait lands after useful local work.
+func (c *Comm) Collectives() (sync, async int64) { return c.syncColl, c.asyncColl }
+
+// begin marks a collective in flight, enforcing the one-outstanding-per-rank
+// rule that keeps ring messages of successive collectives from interleaving.
+func (c *Comm) begin() {
+	if c.inflight {
+		panic("comm: collective started while another is still in flight on this rank (Wait first)")
+	}
+	c.inflight = true
+}
+
+func (c *Comm) end() { c.inflight = false }
+
+// simulate sleeps the modeled ring all-reduce time for an n-element payload
+// when the group carries a link model; a no-op otherwise.
+func (c *Comm) simulate(n int) {
+	c.sleepModeled(RingAllReduceTime(float64(n)*8, c.g.size, c.g.link))
+}
+
+func (c *Comm) sleepModeled(t time.Duration) {
+	if c.g.link == (Link{}) || t <= 0 {
+		return
+	}
+	time.Sleep(t)
+}
 
 func (c *Comm) sendRight(data []float64) {
 	c.bytesSent += int64(len(data)) * 8
@@ -88,7 +135,19 @@ func chunkBounds(n, p, i int) (lo, hi int) {
 // AllReduceSum sums x elementwise across all ranks, leaving the result in
 // every rank's x. It is the chunked ring algorithm: p-1 reduce-scatter steps
 // followed by p-1 all-gather steps, moving 2(p-1)/p of the vector per rank.
+// The call blocks until this rank's participation (and any simulated link
+// time) completes; IAllReduceSum is the non-blocking variant.
 func (c *Comm) AllReduceSum(x []float64) {
+	c.begin()
+	defer c.end()
+	c.syncColl++
+	c.ringReduce(x)
+	c.simulate(len(x))
+}
+
+// ringReduce is the raw chunked ring all-reduce shared by the blocking and
+// non-blocking entry points.
+func (c *Comm) ringReduce(x []float64) {
 	p := c.g.size
 	if p == 1 {
 		return
@@ -128,6 +187,10 @@ func (c *Comm) AllReduceSum(x []float64) {
 // for the ablation benchmark: it moves (p-1)*n to the root link instead of
 // spreading traffic around the ring.
 func (c *Comm) NaiveAllReduceSum(x []float64) {
+	c.begin()
+	defer c.end()
+	c.syncColl++
+	defer c.sleepModeled(NaiveAllReduceTime(float64(len(x))*8, c.g.size, c.g.link))
 	p := c.g.size
 	if p == 1 {
 		return
@@ -160,6 +223,11 @@ func (c *Comm) NaiveAllReduceSum(x []float64) {
 // Broadcast copies root's x into every rank's x by passing it around the
 // ring (p-1 hops).
 func (c *Comm) Broadcast(x []float64, root int) {
+	c.begin()
+	defer c.end()
+	c.syncColl++
+	// Modeled cost: p-1 sequential full-vector hops around the ring.
+	defer c.sleepModeled(time.Duration(c.g.size-1) * c.g.link.Transfer(float64(len(x))*8))
 	p := c.g.size
 	if p == 1 {
 		return

@@ -1,0 +1,105 @@
+package comm
+
+// Native Go fuzz targets for the two pieces of comm arithmetic everything
+// else leans on: the ring's chunk partitioning and the Packed section
+// layout. CI runs each for a few seconds of fuzzing on top of the seeded
+// cases executed by every plain `go test`.
+
+import (
+	"testing"
+)
+
+// FuzzChunkBounds fuzzes the ring chunk partition invariants: for any
+// vector length n >= 0 and rank count p >= 1, the p chunks must be ordered,
+// contiguous and cover [0, n) exactly — the property that makes the
+// reduce-scatter own each element exactly once.
+func FuzzChunkBounds(f *testing.F) {
+	f.Add(0, 1)
+	f.Add(1, 1)
+	f.Add(7, 3)
+	f.Add(103, 7)
+	f.Add(1024, 16)
+	f.Fuzz(func(t *testing.T, n, p int) {
+		if n < 0 || p < 1 {
+			t.Skip()
+		}
+		n %= 1 << 20
+		p = 1 + p%1024
+		prev := 0
+		for i := 0; i < p; i++ {
+			lo, hi := chunkBounds(n, p, i)
+			if lo != prev {
+				t.Fatalf("n=%d p=%d chunk %d starts at %d, previous ended at %d (gap or overlap)", n, p, i, lo, prev)
+			}
+			if hi < lo {
+				t.Fatalf("n=%d p=%d chunk %d inverted: [%d,%d)", n, p, i, lo, hi)
+			}
+			if lo < 0 || hi > n {
+				t.Fatalf("n=%d p=%d chunk %d out of range: [%d,%d)", n, p, i, lo, hi)
+			}
+			prev = hi
+		}
+		if prev != n {
+			t.Fatalf("n=%d p=%d: chunks cover [0,%d), want [0,%d)", n, p, prev, n)
+		}
+	})
+}
+
+// FuzzPackedRoundTrip fuzzes the Packed layout on ragged section lengths:
+// sections must tile the buffer contiguously in declaration order, values
+// written through section views must round-trip through the flat buffer,
+// and Zero must clear everything.
+func FuzzPackedRoundTrip(f *testing.F) {
+	f.Add([]byte{1})
+	f.Add([]byte{3, 1, 4, 1, 5})
+	f.Add([]byte{0, 0, 7})
+	f.Add([]byte{255, 0, 1, 128})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) == 0 || len(raw) > 32 {
+			t.Skip()
+		}
+		lens := make([]int, len(raw))
+		total := 0
+		for i, b := range raw {
+			lens[i] = int(b)
+			total += lens[i]
+		}
+		if total == 0 {
+			t.Skip() // NewPacked rejects empty payloads by contract
+		}
+		p := NewPacked(lens...)
+		if p.Len() != total {
+			t.Fatalf("Len()=%d, want %d", p.Len(), total)
+		}
+		// Fill each section with a value encoding (section, offset) and
+		// check the flat buffer sees the sections tiled in order.
+		for i, l := range lens {
+			s := p.Section(i)
+			if len(s) != l {
+				t.Fatalf("section %d has length %d, want %d", i, len(s), l)
+			}
+			for j := range s {
+				s[j] = float64(i*1000 + j)
+			}
+		}
+		buf := p.Buf()
+		k := 0
+		for i, l := range lens {
+			for j := 0; j < l; j++ {
+				if buf[k] != float64(i*1000+j) {
+					t.Fatalf("buf[%d]=%v, want section %d offset %d", k, buf[k], i, j)
+				}
+				k++
+			}
+		}
+		if k != len(buf) {
+			t.Fatalf("sections tile %d elements, buffer has %d", k, len(buf))
+		}
+		p.Zero()
+		for i, v := range buf {
+			if v != 0 {
+				t.Fatalf("Zero left buf[%d]=%v", i, v)
+			}
+		}
+	})
+}

@@ -58,3 +58,8 @@ func (p *Packed) Zero() {
 // group with one ring all-reduce, leaving identical bytes in every rank's
 // buffer.
 func (p *Packed) AllReduce(c *Comm) { c.AllReduceSum(p.buf) }
+
+// IAllReduce starts the same packed reduction non-blocking: the buffer (and
+// every section view) holds the reduced, cross-rank bit-identical result
+// once the returned handle's Wait returns, and must not be touched before.
+func (p *Packed) IAllReduce(c *Comm) *Handle { return c.IAllReduceSum(p.buf) }

@@ -34,6 +34,15 @@
 // device, which is what lets the parameter and sample counts scale
 // independently.
 //
+// With SR.Solver set to optimizer.SolverPipelined the Fisher solve runs
+// Gropp's overlapped CG instead: the same per-iteration packed reduction is
+// issued NON-blocking (comm.Packed.IAllReduce) right after the local sweep,
+// and the recurrence updates execute while it is in flight, so each
+// iteration costs max(reduction, update) instead of their sum and the solve
+// itself issues zero blocking collectives. The collective schedule is still
+// identical on every rank and the reduced bytes are still bit-identical, so
+// all bit-identity invariants carry over unchanged.
+//
 // The effective batch is devices x miniBatch: fixing miniBatch and growing
 // the device count grows the batch at near-constant step time, which is the
 // mechanism behind the paper's Figure 4 convergence improvements and
@@ -88,7 +97,8 @@ type distFisher struct {
 	lambda  float64
 	batchN  float64 // global sample count L*miniBatch
 	workers int
-	applies *int64 // collective counter, non-nil on rank 0 only
+	applies *int64       // collective counter, non-nil on rank 0 only
+	handle  *comm.Handle // in-flight non-blocking reduction (pipelined solve)
 }
 
 func (f *distFisher) Dim() int { return f.ows.Dim }
@@ -96,11 +106,34 @@ func (f *distFisher) Dim() int { return f.ows.Dim }
 func (f *distFisher) ApplyDot(v, out tensor.Vector) float64 {
 	// The local sweep writes straight into the packed collective buffer:
 	// [partial S-product | partial p.Ap scalar], one all-reduce total.
+	// This is the BLOCKING application the classic CG solve uses.
 	optimizer.FisherPartial(f.ows, v, f.pack.Buf(), f.tbuf, f.workers)
 	f.pack.AllReduce(f.cm)
 	if f.applies != nil {
 		*f.applies++
 	}
+	return optimizer.FisherFinish(f.pack.Buf(), f.obar, v, out, f.lambda, f.batchN)
+}
+
+// StartApply implements optimizer.SplitFisherOp: the local sweep writes the
+// packed partials and the ring reduction is launched NON-blocking, so the
+// pipelined solve overlaps its recurrence updates with the in-flight
+// collective. The packed buffer is owned by the collective until
+// FinishApply.
+func (f *distFisher) StartApply(v tensor.Vector) {
+	optimizer.FisherPartial(f.ows, v, f.pack.Buf(), f.tbuf, f.workers)
+	f.handle = f.pack.IAllReduce(f.cm)
+	if f.applies != nil {
+		*f.applies++
+	}
+}
+
+// FinishApply waits for the reduction started by StartApply and assembles
+// the operator output from the globally reduced bytes — bit-identical on
+// every rank, exactly as the blocking path.
+func (f *distFisher) FinishApply(v, out tensor.Vector) float64 {
+	f.handle.Wait()
+	f.handle = nil
 	return optimizer.FisherFinish(f.pack.Buf(), f.obar, v, out, f.lambda, f.batchN)
 }
 
@@ -199,7 +232,8 @@ func New(h hamiltonian.Hamiltonian, reps []Replica, miniBatch int) (*Trainer, er
 			}
 			seenSR[rep.SR] = r
 			if rep.SR.Lambda != sr0.Lambda || rep.SR.Tol != sr0.Tol ||
-				rep.SR.MaxIter != sr0.MaxIter || rep.SR.MaxStepNorm != sr0.MaxStepNorm {
+				rep.SR.MaxIter != sr0.MaxIter || rep.SR.MaxStepNorm != sr0.MaxStepNorm ||
+				rep.SR.Solver != sr0.Solver {
 				return nil, fmt.Errorf("dist: replica %d SR configuration differs from replica 0; the lockstep CG needs identical settings", r)
 			}
 		}
@@ -288,9 +322,24 @@ func (t *Trainer) Traffic() (bytes, messages int64) {
 }
 
 // FisherApplies reports how many distributed Fisher-vector collectives the
-// SR solves have issued so far (one per CG ApplyDot, counted once per
-// collective — every replica participates in each). Zero without SR.
+// SR solves have issued so far (one per CG ApplyDot or StartApply, counted
+// once per collective — every replica participates in each). Zero without
+// SR.
 func (t *Trainer) FisherApplies() int64 { return t.fisherApplies }
+
+// Collectives reports rank 0's blocking-vs-non-blocking collective counts
+// (every rank issues the identical schedule, so rank 0 is the per-step
+// count, not a sum over replicas). With the classic SR solver every Fisher
+// collective is blocking; with the pipelined solver they all move to the
+// async side, leaving only the two pre-solve reductions blocking per step —
+// the latency-hiding the solver exists for, made countable.
+func (t *Trainer) Collectives() (sync, async int64) { return t.state[0].cm.Collectives() }
+
+// SetLink attaches a simulated alpha-beta link to the trainer's collective
+// group (see comm.Group.SetLink): every collective then costs the modeled
+// ring time in wall clock, so classic-vs-pipelined timing comparisons show
+// the latency that overlap hides. Call before training starts.
+func (t *Trainer) SetLink(l comm.Link) { t.group.SetLink(l) }
 
 // CheckConsistent verifies that all replicas hold bit-identical parameter
 // vectors (exact ==, no tolerance). The synchronous update scheme preserves

@@ -130,6 +130,7 @@ func All() []Experiment {
 		{"table4", "Ablation: MCMC sampling scheme (cut and time)", Table4},
 		{"table5", "Hitting time to target cut", Table5},
 		{"distsr", "Distributed SR: energy, CG iterations, ring traffic", DistSR},
+		{"pipecg", "Pipelined CG: classic vs overlapped SR solve on a latency link", PipeCG},
 		{"table6", "Raw data: converged energy and time per GPU config", Table6},
 		{"table7", "Raw data: weak-scaling times at memory-saturating batch", Table7},
 		{"eq14", "Supplementary: Eq. 14 MCMC parallel efficiency", Eq14},

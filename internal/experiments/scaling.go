@@ -77,13 +77,14 @@ func Figure3(p Preset, out io.Writer, csvDir string) error {
 // streams for a TIM instance. workers fans each replica's evaluation across
 // that many goroutines (1 = the plain data-parallel scheme); srLambda > 0
 // additionally enables distributed stochastic reconfiguration with a
-// private SR clone per replica.
-func buildDistTrainer(n, hsz, L, mbs, workers int, srLambda float64, seed uint64) (*dist.Trainer, error) {
+// private SR clone per replica, solved by the given CG variant.
+func buildDistTrainer(n, hsz, L, mbs, workers int, srLambda float64, solver optimizer.SolverKind, seed uint64) (*dist.Trainer, error) {
 	tim := timInstance(n)
 	streams := rng.New(seed).SplitN(L)
 	var proto *optimizer.SR
 	if srLambda > 0 {
 		proto = optimizer.NewSR(srLambda)
+		proto.Solver = solver
 	}
 	reps := make([]dist.Replica, L)
 	for r := 0; r < L; r++ {
@@ -118,7 +119,7 @@ func DistSR(p Preset, out io.Writer, csvDir string) error {
 		"n", "L", "energy", "mean CG iters", "last residual", "MB/step", "fisher collectives")
 	for _, n := range dims {
 		for _, L := range p.GPUCounts {
-			tr, err := buildDistTrainer(n, hiddenMADE(n), L, p.MBS, 2, 1e-3, uint64(80+L))
+			tr, err := buildDistTrainer(n, hiddenMADE(n), L, p.MBS, 2, 1e-3, optimizer.SolverCG, uint64(80+L))
 			if err != nil {
 				return err
 			}
@@ -163,7 +164,7 @@ func Figure4(p Preset, out io.Writer, csvDir string) error {
 	for _, n := range dims {
 		energies := make([]float64, len(p.GPUCounts))
 		for i, L := range p.GPUCounts {
-			tr, err := buildDistTrainer(n, hiddenMADE(n), L, p.MBS, 1, 0, uint64(60+i))
+			tr, err := buildDistTrainer(n, hiddenMADE(n), L, p.MBS, 1, 0, optimizer.SolverCG, uint64(60+i))
 			if err != nil {
 				return err
 			}
@@ -240,7 +241,7 @@ func Table6(p Preset, out io.Writer, csvDir string) error {
 	for _, L := range p.GPUCounts {
 		row := []interface{}{L}
 		for _, n := range dims {
-			tr, err := buildDistTrainer(n, hiddenMADE(n), L, p.MBS, 1, 0, uint64(70+L))
+			tr, err := buildDistTrainer(n, hiddenMADE(n), L, p.MBS, 1, 0, optimizer.SolverCG, uint64(70+L))
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,116 @@
+// Pipelined (communication-avoiding) conjugate gradients: Gropp's two-dot
+// overlap variant. Classic CG has two global synchronization points per
+// iteration — the p.Ap and r.r inner products — and each one sits on the
+// critical path right where it blocks all following work. Gropp's
+// restructuring keeps the exact same Krylov recurrence but maintains
+// s = A p by the update s <- w + beta*s (with w = A r the only fresh
+// operator application per iteration), which detaches each reduction from
+// its consumer: the residual-norm reduction is in flight while the operator
+// is applied, so a distributed run pays max(reduction, matvec) instead of
+// their sum.
+//
+// The synchronization points are expressed through the DotReducer hook: the
+// solver computes local partial inner products, hands them to the reducer,
+// overlaps whatever the recurrence allows, and only then waits. A nil
+// reducer means the dots are already global (serial callers, or callers
+// whose vectors are replicated on every rank) and the algorithm degenerates
+// to exactly the classic arithmetic in a different evaluation order — same
+// solution, iteration counts within one of CG's.
+package linalg
+
+import "math"
+
+// DotReducer begins a global reduction of locally computed partial inner
+// products: vals holds this rank's partials on entry and must hold the
+// reduced global values once the returned wait function has been called.
+// Between the call and the wait, the reduction is in flight and the caller
+// overlaps independent local work. Implementations are typically backed by
+// a non-blocking all-reduce; a nil DotReducer (or NoopReducer) leaves vals
+// untouched for callers whose dots are already global.
+type DotReducer func(vals []float64) (wait func())
+
+// NoopReducer is the DotReducer for serial or replicated-vector callers:
+// the partials already are the global values.
+func NoopReducer(vals []float64) (wait func()) { return func() {} }
+
+// PipelinedCG solves A x = b for symmetric positive definite A with Gropp's
+// overlapped conjugate-gradient variant, starting from the current contents
+// of x. It stops when the relative residual (from the recurrence) drops
+// below tol or after maxIter iterations, and returns a best-effort result
+// with Converged=false if a non-positive p.Ap curvature is detected —
+// mirroring CG's breakdown handling. reduce carries the two per-iteration
+// inner-product reductions; nil means serial.
+func PipelinedCG(a MatVec, b, x []float64, tol float64, maxIter int, reduce DotReducer) CGResult {
+	if reduce == nil {
+		reduce = NoopReducer
+	}
+	n := len(b)
+	r := make([]float64, n)
+	p := make([]float64, n)
+	s := make([]float64, n) // s = A p, maintained by recurrence
+	w := make([]float64, n) // w = A r, the fresh product each iteration
+
+	// One reusable reduction payload: each reduction completes (wait) before
+	// the next write, so the buffer never carries two values at once.
+	dots := make([]float64, 1)
+
+	// r0 = b - A x0; the ||b||^2 reduction is in flight while the residual
+	// is assembled.
+	a(x, w)
+	dots[0] = dot(b, b)
+	wait := reduce(dots)
+	for i := range b {
+		r[i] = b[i] - w[i]
+	}
+	wait()
+	bnorm := math.Sqrt(dots[0])
+	if bnorm == 0 {
+		for i := range x {
+			x[i] = 0
+		}
+		return CGResult{Converged: true}
+	}
+	copy(p, r)
+	// s0 = A p0, overlapped with the gamma0 = (r0, r0) reduction.
+	dots[0] = dot(r, r)
+	wait = reduce(dots)
+	a(p, s)
+	wait()
+	gamma := dots[0]
+
+	for k := 0; k < maxIter; k++ {
+		if math.Sqrt(gamma)/bnorm < tol {
+			return CGResult{Iterations: k, Residual: math.Sqrt(gamma) / bnorm, Converged: true}
+		}
+		// delta = (p, s) = p.Ap. Gropp's variant overlaps this reduction
+		// with the preconditioner application; unpreconditioned there is
+		// nothing to hide it behind, so the wait follows immediately.
+		dots[0] = dot(p, s)
+		wait = reduce(dots)
+		wait()
+		delta := dots[0]
+		if delta <= 0 {
+			// Not positive definite along p; bail out with best iterate.
+			return CGResult{Iterations: k, Residual: math.Sqrt(gamma) / bnorm, Converged: false}
+		}
+		alpha := gamma / delta
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * s[i]
+		}
+		// gamma' = (r, r) rides behind the one fresh operator application
+		// of the iteration — the overlap this variant exists for.
+		dots[0] = dot(r, r)
+		wait = reduce(dots)
+		a(r, w)
+		wait()
+		gammaNew := dots[0]
+		beta := gammaNew / gamma
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+			s[i] = w[i] + beta*s[i]
+		}
+		gamma = gammaNew
+	}
+	return CGResult{Iterations: maxIter, Residual: math.Sqrt(gamma) / bnorm, Converged: math.Sqrt(gamma)/bnorm < tol}
+}

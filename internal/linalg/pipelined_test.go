@@ -1,0 +1,195 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+
+	"github.com/vqmc-scale/parvqmc/internal/comm"
+	"github.com/vqmc-scale/parvqmc/internal/rng"
+)
+
+// randWellSPD builds a random symmetric positive definite matrix
+// A = B^T B / n + I with a modest condition number, so both solvers can be
+// driven to near machine precision and compared at the 1e-12 level.
+func randWellSPD(r *rng.Rand, n int) []float64 {
+	b := make([]float64, n*n)
+	r.FillUniform(b, -1, 1)
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += b[k*n+i] * b[k*n+j]
+			}
+			a[i*n+j] = s / float64(n)
+		}
+		a[i*n+i] += 1
+	}
+	return a
+}
+
+// TestPipelinedCGMatchesCGProperty is the equivalence property of Gropp's
+// variant: on random SPD systems of every dimension 1..64 it must produce
+// the same solution as classic CG to <= 1e-12 with iteration counts within
+// +-1 — the recurrences are the same Krylov process, only the reduction
+// schedule differs.
+func TestPipelinedCGMatchesCGProperty(t *testing.T) {
+	r := rng.New(7)
+	for n := 1; n <= 64; n++ {
+		a := randWellSPD(r, n)
+		xTrue := make([]float64, n)
+		r.FillUniform(xTrue, -1, 1)
+		b := make([]float64, n)
+		denseMV(a, n)(xTrue, b)
+
+		// Shared warm start exercises the nonzero-x0 path every other dim.
+		x0 := make([]float64, n)
+		if n%2 == 0 {
+			r.FillUniform(x0, -0.5, 0.5)
+		}
+		xCG := append([]float64(nil), x0...)
+		xP := append([]float64(nil), x0...)
+		resCG := CG(denseMV(a, n), b, xCG, 1e-13, 3*n+10)
+		resP := PipelinedCG(denseMV(a, n), b, xP, 1e-13, 3*n+10, nil)
+
+		if !resCG.Converged || !resP.Converged {
+			t.Fatalf("n=%d: CG converged=%v, pipelined converged=%v", n, resCG.Converged, resP.Converged)
+		}
+		if d := resP.Iterations - resCG.Iterations; d < -1 || d > 1 {
+			t.Fatalf("n=%d: pipelined took %d iterations, CG %d (want within +-1)",
+				n, resP.Iterations, resCG.Iterations)
+		}
+		scale := 1.0
+		for _, v := range xTrue {
+			if math.Abs(v) > scale {
+				scale = math.Abs(v)
+			}
+		}
+		for i := range xCG {
+			if d := math.Abs(xCG[i] - xP[i]); d > 1e-12*scale {
+				t.Fatalf("n=%d: solutions differ at %d: CG %v vs pipelined %v (diff %g)",
+					n, i, xCG[i], xP[i], d)
+			}
+		}
+	}
+}
+
+// TestPipelinedCGBreakdown drives both solvers into the pAp <= 0 breakdown
+// on indefinite operators: they must return a finite residual with
+// Converged=false — never NaN — and agree on where they stopped.
+func TestPipelinedCGBreakdown(t *testing.T) {
+	cases := []struct {
+		name string
+		diag []float64
+		b    []float64
+	}{
+		{"negative-definite", []float64{-1, -1, -1}, []float64{1, 2, 3}},
+		{"zero-curvature", []float64{1, -1}, []float64{1, 1}}, // pAp = 0 exactly
+		{"indefinite", []float64{2, -3, 1, -5}, []float64{1, 1, 1, 1}},
+	}
+	for _, tc := range cases {
+		n := len(tc.diag)
+		mv := func(v, out []float64) {
+			for i := range v {
+				out[i] = tc.diag[i] * v[i]
+			}
+		}
+		xCG := make([]float64, n)
+		xP := make([]float64, n)
+		resCG := CG(mv, tc.b, xCG, 1e-12, 50)
+		resP := PipelinedCG(mv, tc.b, xP, 1e-12, 50, nil)
+		for _, res := range []CGResult{resCG, resP} {
+			if res.Converged {
+				t.Fatalf("%s: breakdown reported as converged: %+v", tc.name, res)
+			}
+			if math.IsNaN(res.Residual) || math.IsInf(res.Residual, 0) {
+				t.Fatalf("%s: non-finite residual %v", tc.name, res.Residual)
+			}
+		}
+		for i := range xCG {
+			if math.IsNaN(xCG[i]) || math.IsNaN(xP[i]) {
+				t.Fatalf("%s: NaN in iterate (CG %v, pipelined %v)", tc.name, xCG[i], xP[i])
+			}
+		}
+		if resCG.Iterations != resP.Iterations {
+			t.Fatalf("%s: breakdown at different iterations: CG %d, pipelined %d",
+				tc.name, resCG.Iterations, resP.Iterations)
+		}
+	}
+}
+
+// TestPipelinedCGDistributedDots runs PipelinedCG with its inner products
+// genuinely sharded across ranks: each rank computes partial dots over its
+// slice of the index space and the DotReducer combines them with a
+// NON-BLOCKING ring all-reduce, so the gamma reduction really is in flight
+// while the operator is applied (which itself gathers on a second
+// communicator — the reason one rank may not have two collectives
+// outstanding on one Comm). Every rank must converge to the serial solution.
+func TestPipelinedCGDistributedDots(t *testing.T) {
+	const n, p = 24, 3
+	r := rng.New(11)
+	a := randWellSPD(r, n)
+	xTrue := make([]float64, n)
+	r.FillUniform(xTrue, -1, 1)
+	b := make([]float64, n)
+	denseMV(a, n)(xTrue, b)
+
+	xSerial := make([]float64, n)
+	resSerial := PipelinedCG(denseMV(a, n), b, xSerial, 1e-12, 10*n, nil)
+	if !resSerial.Converged {
+		t.Fatalf("serial reference did not converge: %+v", resSerial)
+	}
+
+	dotGroup := comm.NewGroup(p)  // carries the async inner-product reductions
+	gathGroup := comm.NewGroup(p) // carries the matvec's row gather
+	results := make([][]float64, p)
+	iters := make([]int, p)
+	doneCh := make(chan int, p)
+	for rank := 0; rank < p; rank++ {
+		go func(rank int) {
+			dc := dotGroup.Rank(rank)
+			gc := gathGroup.Rank(rank)
+			lo, hi := rank*n/p, (rank+1)*n/p
+
+			// The rank owns rows [lo, hi) of every vector.
+			localB := append([]float64(nil), b[lo:hi]...)
+			localX := make([]float64, hi-lo)
+			mv := func(v, out []float64) {
+				// Gather the full input vector (blocking collective on the
+				// second communicator), then apply the owned rows.
+				full := make([]float64, n)
+				copy(full[lo:hi], v)
+				gc.AllReduceSum(full)
+				for i := lo; i < hi; i++ {
+					var s float64
+					for j := 0; j < n; j++ {
+						s += a[i*n+j] * full[j]
+					}
+					out[i-lo] = s
+				}
+			}
+			reduce := func(vals []float64) func() {
+				return dc.IAllReduceSum(vals).Wait
+			}
+			res := PipelinedCG(mv, localB, localX, 1e-12, 10*n, reduce)
+			results[rank] = localX
+			iters[rank] = res.Iterations
+			doneCh <- rank
+		}(rank)
+	}
+	for i := 0; i < p; i++ {
+		<-doneCh
+	}
+	for rank := 0; rank < p; rank++ {
+		lo, hi := rank*n/p, (rank+1)*n/p
+		if iters[rank] != iters[0] {
+			t.Fatalf("rank %d ran %d iterations, rank 0 ran %d (lockstep broken)", rank, iters[rank], iters[0])
+		}
+		for i := lo; i < hi; i++ {
+			if d := math.Abs(results[rank][i-lo] - xSerial[i]); d > 1e-10 {
+				t.Fatalf("rank %d element %d: distributed %v vs serial %v (diff %g)",
+					rank, i, results[rank][i-lo], xSerial[i], d)
+			}
+		}
+	}
+}

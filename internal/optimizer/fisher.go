@@ -33,6 +33,23 @@ type FisherOp interface {
 	ApplyDot(v, out tensor.Vector) float64
 }
 
+// SplitFisherOp is a FisherOp whose application can be cut at the
+// synchronization point: StartApply performs the local O_k sweep and kicks
+// off the (non-blocking) reduction of the one-pass statistics; FinishApply
+// waits for the reduced bytes and assembles out = A v, returning dot(v, out)
+// exactly as ApplyDot would. Between the two calls the reduction is in
+// flight and the caller overlaps independent local work — the hook the
+// pipelined CG solve is built on. Calls must strictly alternate
+// (Start, Finish, Start, ...) with the same v, and v and the operator's
+// internal buffers must not be touched while an application is open.
+// Serial implementations split at the same point with nothing in flight,
+// so the arithmetic — and therefore the trained bytes — are identical.
+type SplitFisherOp interface {
+	FisherOp
+	StartApply(v tensor.Vector)
+	FinishApply(v, out tensor.Vector) float64
+}
+
 // FisherPartial performs the local sweep over the O_k rows for a
 // Fisher-vector product, writing into acc (length d+1)
 //
@@ -128,7 +145,18 @@ func (f *batchFisher) Dim() int { return f.ows.Dim }
 
 // ApplyDot implements FisherOp.
 func (f *batchFisher) ApplyDot(v, out tensor.Vector) float64 {
+	f.StartApply(v)
+	return f.FinishApply(v, out)
+}
+
+// StartApply implements SplitFisherOp: the serial operator has no
+// collective to launch, so the "start" is just the one-pass sweep.
+func (f *batchFisher) StartApply(v tensor.Vector) {
 	FisherPartial(f.ows, v, f.acc, f.tbuf, f.workers)
+}
+
+// FinishApply implements SplitFisherOp.
+func (f *batchFisher) FinishApply(v, out tensor.Vector) float64 {
 	return FisherFinish(f.acc, f.obar, v, out, f.lambda, float64(f.ows.N))
 }
 
@@ -183,4 +211,81 @@ func SolveFisherCG(op FisherOp, b, x tensor.Vector, tol float64, maxIter int) li
 		rr = rrNew
 	}
 	return linalg.CGResult{Iterations: maxIter, Residual: math.Sqrt(rr) / bnorm, Converged: math.Sqrt(rr)/bnorm < tol}
+}
+
+// SolveFisherPipelinedCG runs Gropp's overlapped conjugate-gradient variant
+// (mirroring linalg.PipelinedCG) on A x = b through a SplitFisherOp. The
+// CG vectors are replicated on every rank of a distributed group, so the
+// inner products are free local arithmetic and the ONLY synchronization per
+// iteration is the operator application itself — which this solver issues
+// through StartApply/FinishApply so the ring reduction for iteration k's
+// Fisher-vector product is in flight while the beta and search-direction
+// recurrences of the same iteration run. Classic SolveFisherCG blocks on
+// its collective at the point of maximal dependency (the p.Ap it needs
+// immediately); here every collective is non-blocking and the solve issues
+// ZERO blocking collectives, paying max(sweep-reduction, recurrence) per
+// iteration instead of their sum.
+//
+// All control flow depends only on replicated values, so every rank takes
+// identical branches and issues the same collectives in the same order —
+// the lockstep property the ring requires. The cost relative to classic is
+// one extra operator application per solve (s0 = A p0 is computed fresh
+// rather than inherited), after which s = A p is maintained by the
+// recurrence s <- w + beta s with w = A r the fresh product.
+func SolveFisherPipelinedCG(op SplitFisherOp, b, x tensor.Vector, tol float64, maxIter int) linalg.CGResult {
+	n := len(b)
+	r := tensor.NewVector(n)
+	p := tensor.NewVector(n)
+	s := tensor.NewVector(n) // s = A p, maintained by recurrence
+	w := tensor.NewVector(n) // w = A r, the fresh product each iteration
+
+	// r0 = b - A x0; ||b|| is formed while the reduction is in flight.
+	op.StartApply(x)
+	bnorm := math.Sqrt(b.Dot(b))
+	op.FinishApply(x, w)
+	for i := range b {
+		r[i] = b[i] - w[i]
+	}
+	if bnorm == 0 {
+		for i := range x {
+			x[i] = 0
+		}
+		return linalg.CGResult{Converged: true}
+	}
+	copy(p, r)
+	// s0 = A p0, overlapped with gamma0 = (r0, r0).
+	op.StartApply(p)
+	gamma := r.Dot(r)
+	op.FinishApply(p, s)
+
+	for k := 0; k < maxIter; k++ {
+		if math.Sqrt(gamma)/bnorm < tol {
+			return linalg.CGResult{Iterations: k, Residual: math.Sqrt(gamma) / bnorm, Converged: true}
+		}
+		delta := p.Dot(s)
+		if delta <= 0 {
+			// Not positive definite along p; bail out with best iterate.
+			return linalg.CGResult{Iterations: k, Residual: math.Sqrt(gamma) / bnorm, Converged: false}
+		}
+		alpha := gamma / delta
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * s[i]
+		}
+		// Kick off the one fresh Fisher product of the iteration, then run
+		// everything that does not depend on it — the residual norm, beta
+		// and the direction update — inside the overlap window.
+		op.StartApply(r)
+		gammaNew := r.Dot(r)
+		beta := gammaNew / gamma
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		op.FinishApply(r, w)
+		for i := range s {
+			s[i] = w[i] + beta*s[i]
+		}
+		gamma = gammaNew
+	}
+	return linalg.CGResult{Iterations: maxIter, Residual: math.Sqrt(gamma) / bnorm, Converged: math.Sqrt(gamma)/bnorm < tol}
 }

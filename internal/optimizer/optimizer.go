@@ -84,6 +84,30 @@ func (a *Adam) Step(params, grad tensor.Vector) {
 // Name implements Optimizer.
 func (a *Adam) Name() string { return "ADAM" }
 
+// SolverKind selects the conjugate-gradient variant behind an SR solve.
+type SolverKind int
+
+const (
+	// SolverCG is classic conjugate gradients (SolveFisherCG): in a
+	// distributed group it blocks on one collective per iteration at the
+	// point of maximal dependency.
+	SolverCG SolverKind = iota
+	// SolverPipelined is Gropp's overlapped variant
+	// (SolveFisherPipelinedCG): every per-iteration collective is
+	// non-blocking, hidden behind the recurrence updates. Same traffic
+	// within one extra operator application per solve; identical
+	// arithmetic whether run serially or on any number of ranks.
+	SolverPipelined
+)
+
+// String names the solver for flags and experiment tables.
+func (k SolverKind) String() string {
+	if k == SolverPipelined {
+		return "pipelined"
+	}
+	return "cg"
+}
+
 // SR preconditions a gradient with the regularized Fisher matrix
 // S = E[O O^T] - E[O] E[O]^T (O_k = grad log psi(x_k)), solving
 // (S + lambda I) delta = g matrix-free with conjugate gradients. The result
@@ -93,6 +117,10 @@ type SR struct {
 	Tol     float64
 	MaxIter int
 	Workers int
+	// Solver selects the CG variant: SolverCG (default) or
+	// SolverPipelined. In a distributed group every replica must carry the
+	// same kind — the solvers issue different collective schedules.
+	Solver SolverKind
 	// MaxStepNorm caps ||delta||: with small lambda the solve can amplify
 	// gradient components lying in the Fisher matrix's near-null space by
 	// up to 1/lambda, which blows up training when the sample covariance
@@ -137,7 +165,13 @@ func (s *SR) PreconditionOp(op FisherOp, grad tensor.Vector) tensor.Vector {
 	if maxIter <= 0 {
 		maxIter = 200
 	}
-	s.last = SolveFisherCG(op, grad, s.delta, s.Tol, maxIter)
+	if sp, ok := op.(SplitFisherOp); ok && s.Solver == SolverPipelined {
+		s.last = SolveFisherPipelinedCG(sp, grad, s.delta, s.Tol, maxIter)
+	} else {
+		// Classic CG; also the fallback for ops that cannot split their
+		// application at the synchronization point.
+		s.last = SolveFisherCG(op, grad, s.delta, s.Tol, maxIter)
+	}
 	if s.MaxStepNorm > 0 {
 		if n := s.delta.Norm2(); n > s.MaxStepNorm {
 			s.delta.Scale(s.MaxStepNorm / n)
@@ -152,7 +186,7 @@ func (s *SR) PreconditionOp(op FisherOp, grad tensor.Vector) tensor.Vector {
 // identical configuration keeps the lockstep CG branch-consistent.
 func (s *SR) Clone() *SR {
 	return &SR{Lambda: s.Lambda, Tol: s.Tol, MaxIter: s.MaxIter,
-		Workers: s.Workers, MaxStepNorm: s.MaxStepNorm}
+		Workers: s.Workers, MaxStepNorm: s.MaxStepNorm, Solver: s.Solver}
 }
 
 // LastSolve reports the CG result of the most recent Precondition call.

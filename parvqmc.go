@@ -139,6 +139,11 @@ type Options struct {
 	StochasticReconfig bool
 	// SRLambda is the SR regularization (default 1e-3).
 	SRLambda float64
+	// SRSolver selects the Fisher CG variant: "cg" (classic, default) or
+	// "pipelined" (Gropp's overlapped variant — in distributed training
+	// every per-iteration collective is non-blocking and hidden behind the
+	// recurrence updates; serially it is the identical algorithm).
+	SRSolver string
 	// BatchSize is samples per iteration (default 1024).
 	BatchSize int
 	// Iterations is the number of training steps (default 300).
@@ -210,6 +215,14 @@ func (o *Options) fill(n int) error {
 	if o.SRLambda <= 0 {
 		o.SRLambda = 1e-3
 	}
+	switch strings.ToLower(o.SRSolver) {
+	case "", "cg", "classic":
+		o.SRSolver = "cg"
+	case "pipelined", "pipecg":
+		o.SRSolver = "pipelined"
+	default:
+		return fmt.Errorf("parvqmc: unknown SR solver %q (want cg or pipelined)", o.SRSolver)
+	}
 	if o.BatchSize <= 0 {
 		o.BatchSize = 1024
 	}
@@ -278,6 +291,9 @@ func (o Options) buildOptimizer() (optimizer.Optimizer, *optimizer.SR) {
 	var sr *optimizer.SR
 	if o.StochasticReconfig {
 		sr = optimizer.NewSR(o.SRLambda)
+		if o.SRSolver == "pipelined" {
+			sr.Solver = optimizer.SolverPipelined
+		}
 	}
 	return opt, sr
 }
@@ -374,7 +390,10 @@ func Train(p *Problem, o Options) (*Result, error) {
 // With Options.StochasticReconfig set, the gradient is preconditioned by
 // distributed SR: each replica keeps only its private O_k rows and the
 // matrix-free Fisher CG solve performs one packed ring all-reduce per
-// iteration. Options.Workers (default 1 in distributed mode) additionally
+// iteration; Options.SRSolver "pipelined" issues those collectives
+// non-blocking and hides them behind the CG recurrence updates (Gropp's
+// overlapped variant), without perturbing the result beyond solver
+// round-off. Options.Workers (default 1 in distributed mode) additionally
 // fans each replica's local-energy and gradient evaluation across that many
 // goroutines — the two-level replica x worker scheme modeling node x GPU
 // hierarchies. Neither knob perturbs the bit-identity of the replicas.
