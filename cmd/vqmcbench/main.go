@@ -1,0 +1,174 @@
+// Command vqmcbench times the scalar (per-sample) evaluation path against
+// the batched GEMM path and writes the results as JSON, giving the repo a
+// recorded perf trajectory across PRs (BENCH_pr4.json). The two paths are
+// bitwise identical, so every comparison is pure throughput.
+//
+//	vqmcbench -out BENCH_pr4.json                  # acceptance point, n=32 h=64 B=1024
+//	vqmcbench -quick -out /tmp/smoke.json          # CI smoke (seconds)
+//	vqmcbench -workers 1,4,8                       # worker sweep
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/vqmc-scale/parvqmc/internal/core"
+	"github.com/vqmc-scale/parvqmc/internal/hamiltonian"
+	"github.com/vqmc-scale/parvqmc/internal/nn"
+	"github.com/vqmc-scale/parvqmc/internal/optimizer"
+	"github.com/vqmc-scale/parvqmc/internal/rng"
+	"github.com/vqmc-scale/parvqmc/internal/sampler"
+	"github.com/vqmc-scale/parvqmc/internal/tensor"
+)
+
+// Result is one scalar-vs-batched comparison.
+type Result struct {
+	Name      string  `json:"name"`
+	N         int     `json:"n"`
+	Hidden    int     `json:"hidden"`
+	Batch     int     `json:"batch"`
+	Workers   int     `json:"workers"`
+	ScalarNS  float64 `json:"scalar_ns_op"`
+	BatchedNS float64 `json:"batched_ns_op"`
+	Speedup   float64 `json:"speedup"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	PR         string   `json:"pr"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
+	GoVersion  string   `json:"go_version"`
+	Note       string   `json:"note"`
+	Results    []Result `json:"results"`
+}
+
+// timeIt runs fn repeatedly until minDur elapses (at least once) and
+// returns ns per call.
+func timeIt(minDur time.Duration, fn func()) float64 {
+	fn() // warm-up
+	var calls int
+	start := time.Now()
+	for time.Since(start) < minDur {
+		fn()
+		calls++
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(calls)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vqmcbench: ")
+	var (
+		n       = flag.Int("n", 32, "TIM sites")
+		hsz     = flag.Int("hidden", 64, "MADE hidden width")
+		batch   = flag.Int("batch", 1024, "batch size")
+		workers = flag.String("workers", "", "comma-separated worker counts (default: 1 and GOMAXPROCS)")
+		minMS   = flag.Int("min-ms", 2000, "minimum measurement time per case, milliseconds")
+		quick   = flag.Bool("quick", false, "CI smoke: tiny sizes, one short measurement per case")
+		out     = flag.String("out", "BENCH_pr4.json", "output JSON path")
+	)
+	flag.Parse()
+
+	if *quick {
+		*n, *hsz, *batch, *minMS = 10, 12, 64, 1
+	}
+	wlist := []int{1}
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		wlist = append(wlist, p)
+	}
+	if *workers != "" {
+		wlist = nil
+		for _, tok := range strings.Split(*workers, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || w < 1 {
+				log.Fatalf("bad -workers entry %q", tok)
+			}
+			wlist = append(wlist, w)
+		}
+	}
+	minDur := time.Duration(*minMS) * time.Millisecond
+
+	rep := Report{
+		PR:         "pr4-batched-gemm-eval",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		Note: "scalar vs batched ns per call; paths are bitwise identical. " +
+			"LocalEnergies/FillOws are per batch, AutoSample per batch, TrainStep per iteration.",
+	}
+
+	for _, w := range wlist {
+		r := rng.New(1)
+		tim := hamiltonian.RandomTIM(*n, r)
+		m := nn.NewMADE(*n, *hsz, r.Split())
+		b := sampler.NewBatch(*batch, *n)
+		r.FillBits(b.Bits)
+		out1 := make([]float64, *batch)
+		bev := core.NewBatchedEval(m, core.EvalAuto, w)
+
+		sNS := timeIt(minDur, func() { core.LocalEnergies(tim, m, b, w, out1) })
+		bNS := timeIt(minDur, func() { bev.LocalEnergies(tim, b, w, out1) })
+		rep.Results = append(rep.Results, Result{Name: "LocalEnergies", N: *n, Hidden: *hsz,
+			Batch: *batch, Workers: w, ScalarNS: sNS, BatchedNS: bNS, Speedup: sNS / bNS})
+		fmt.Printf("LocalEnergies  n=%d h=%d B=%d w=%d: scalar %.2fms batched %.2fms (%.2fx)\n",
+			*n, *hsz, *batch, w, sNS/1e6, bNS/1e6, sNS/bNS)
+
+		ows := tensor.NewBatch(*batch, m.NumParams())
+		evals := make([]nn.GradEvaluator, w)
+		for i := range evals {
+			evals[i] = m.NewGradEvaluator()
+		}
+		sNS = timeIt(minDur, func() { core.FillOws(evals, b, ows, w) })
+		bNS = timeIt(minDur, func() { bev.FillOws(b, ows) })
+		rep.Results = append(rep.Results, Result{Name: "FillOws", N: *n, Hidden: *hsz,
+			Batch: *batch, Workers: w, ScalarNS: sNS, BatchedNS: bNS, Speedup: sNS / bNS})
+		fmt.Printf("FillOws        n=%d h=%d B=%d w=%d: scalar %.2fms batched %.2fms (%.2fx)\n",
+			*n, *hsz, *batch, w, sNS/1e6, bNS/1e6, sNS/bNS)
+
+		sSmp := sampler.NewAutoMADE(m, true, w, rng.New(7))
+		bSmp := sampler.NewAutoBatched(*n, m, w, rng.New(7))
+		sNS = timeIt(minDur, func() { sSmp.Sample(b) })
+		bNS = timeIt(minDur, func() { bSmp.Sample(b) })
+		rep.Results = append(rep.Results, Result{Name: "AutoSample", N: *n, Hidden: *hsz,
+			Batch: *batch, Workers: w, ScalarNS: sNS, BatchedNS: bNS, Speedup: sNS / bNS})
+		fmt.Printf("AutoSample     n=%d h=%d B=%d w=%d: scalar %.2fms batched %.2fms (%.2fx)\n",
+			*n, *hsz, *batch, w, sNS/1e6, bNS/1e6, sNS/bNS)
+
+		mkTrainer := func(mode core.EvalMode) *core.Trainer {
+			mm := nn.NewMADE(*n, *hsz, rng.New(9))
+			var smp sampler.Sampler
+			if mode == core.EvalScalar {
+				smp = sampler.NewAutoMADE(mm, true, w, rng.New(10))
+			} else {
+				smp = sampler.NewAutoBatched(*n, mm, w, rng.New(10))
+			}
+			return core.New(tim, mm, smp, optimizer.NewAdam(0.01),
+				core.Config{BatchSize: *batch, Workers: w, Eval: mode})
+		}
+		trS, trB := mkTrainer(core.EvalScalar), mkTrainer(core.EvalAuto)
+		sNS = timeIt(minDur, func() { trS.Step() })
+		bNS = timeIt(minDur, func() { trB.Step() })
+		rep.Results = append(rep.Results, Result{Name: "TrainStep", N: *n, Hidden: *hsz,
+			Batch: *batch, Workers: w, ScalarNS: sNS, BatchedNS: bNS, Speedup: sNS / bNS})
+		fmt.Printf("TrainStep      n=%d h=%d B=%d w=%d: scalar %.2fms batched %.2fms (%.2fx)\n",
+			*n, *hsz, *batch, w, sNS/1e6, bNS/1e6, sNS/bNS)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math"
+
+	"github.com/vqmc-scale/parvqmc/internal/hamiltonian"
+	"github.com/vqmc-scale/parvqmc/internal/nn"
+	"github.com/vqmc-scale/parvqmc/internal/parallel"
+	"github.com/vqmc-scale/parvqmc/internal/sampler"
+	"github.com/vqmc-scale/parvqmc/internal/tensor"
+)
+
+// EvalMode selects between the batched GEMM evaluation path and the
+// per-sample scalar path for local energies and gradients.
+type EvalMode int
+
+const (
+	// EvalAuto (the default) uses the batched path whenever the model
+	// implements nn.BatchEvaluatorBuilder, falling back to scalar
+	// otherwise. The two paths are bitwise interchangeable.
+	EvalAuto EvalMode = iota
+	// EvalScalar forces the per-sample path (the A/B baseline).
+	EvalScalar
+)
+
+// configs reinterprets a sampler batch as the nn-side view, zero-copy.
+func configs(b *sampler.Batch) nn.ConfigBatch {
+	return nn.ConfigBatch{N: b.N, Sites: b.Sites, Bits: b.Bits}
+}
+
+// BatchedEval bundles a model's nn.BatchEvaluator with the reusable flip
+// and base log-psi buffers the energy phase needs, so the steady-state
+// training loop allocates nothing. Values produced through it are bitwise
+// identical to the scalar LocalEnergies/FillOws paths (see the
+// nn.BatchEvaluator contract); it is a pure throughput knob.
+type BatchedEval struct {
+	be         nn.BatchEvaluator
+	bits       []int
+	amps       []float64
+	base, flip []float64
+}
+
+// NewBatchedEval returns a batched evaluation wrapper for the model, or nil
+// if the model has no batched path (mode EvalScalar also returns nil —
+// callers treat nil as "use the scalar path"). workers bounds the internal
+// fan-out and never affects a produced value.
+func NewBatchedEval(model nn.Wavefunction, mode EvalMode, workers int) *BatchedEval {
+	if mode == EvalScalar {
+		return nil
+	}
+	bb, ok := model.(nn.BatchEvaluatorBuilder)
+	if !ok {
+		return nil
+	}
+	return &BatchedEval{be: bb.NewBatchEvaluator(workers)}
+}
+
+// Evaluator exposes the underlying nn.BatchEvaluator (benchmarks and the
+// gradient path use it directly).
+func (e *BatchedEval) Evaluator() nn.BatchEvaluator { return e.be }
+
+// LocalEnergies is the batched counterpart of the package-level
+// LocalEnergies: one FlipLogPsiBatch call evaluates the whole B x (F+1)
+// flip super-batch through blocked GEMMs, then the per-sample reduction
+// accumulates the flip terms in the same order as the scalar loop. Outputs
+// are bitwise identical to LocalEnergies on the same batch.
+func (e *BatchedEval) LocalEnergies(h hamiltonian.Hamiltonian, b *sampler.Batch, workers int, out []float64) {
+	flips := h.FlipTerms()
+	if len(flips) == 0 {
+		parallel.For(b.N, workers, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				out[k] = h.Diagonal(b.Row(k))
+			}
+		})
+		return
+	}
+	nf := len(flips)
+	if cap(e.bits) < nf {
+		e.bits = make([]int, nf)
+		e.amps = make([]float64, nf)
+	}
+	bits, amps := e.bits[:nf], e.amps[:nf]
+	for f, ft := range flips {
+		bits[f], amps[f] = ft.Bit, ft.Amp
+	}
+	if cap(e.base) < b.N {
+		e.base = make([]float64, b.N)
+	}
+	if cap(e.flip) < b.N*nf {
+		e.flip = make([]float64, b.N*nf)
+	}
+	base, flip := e.base[:b.N], e.flip[:b.N*nf]
+	e.be.FlipLogPsiBatch(configs(b), bits, base, flip)
+	parallel.For(b.N, workers, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			l := h.Diagonal(b.Row(k))
+			row := flip[k*nf : (k+1)*nf]
+			for f := range row {
+				l += amps[f] * math.Exp(row[f]-base[k])
+			}
+			out[k] = l
+		}
+	})
+}
+
+// FillOws is the batched counterpart of FillOws: per-sample log-derivative
+// rows via one fused forward over the batch plus the shared analytic
+// backward. Bitwise identical to the scalar FillOws.
+func (e *BatchedEval) FillOws(b *sampler.Batch, ows *tensor.Batch) {
+	e.be.GradLogPsiBatch(configs(b), ows)
+}
+
+// LocalEnergiesBatched evaluates local energies through the model's batched
+// evaluator with a freshly built wrapper — the convenience entry point for
+// tests and benchmarks; training loops hold a BatchedEval instead.
+func LocalEnergiesBatched(h hamiltonian.Hamiltonian, model nn.Wavefunction, b *sampler.Batch, workers int, out []float64) {
+	e := NewBatchedEval(model, EvalAuto, workers)
+	if e == nil {
+		panic("core: model has no batched evaluation path")
+	}
+	e.LocalEnergies(h, b, workers, out)
+}
+
+// GradBlockSize is the fixed granule of the weighted row-sum reduction: rows
+// are reduced into per-block partials (each block owned by exactly one
+// worker, accumulated in ascending row order) and the partials are folded
+// serially in ascending block order. The block boundary depends only on
+// the row index — never on the worker count — so the reduced vector is
+// bitwise invariant to the worker count, the property the distributed
+// trainer's replica x worker bit-identity rests on.
+const GradBlockSize = 32
+
+// GradBlocks returns the partial count AddWeightedRows needs for n rows
+// (callers size the parts workspace once with it).
+func GradBlocks(n int) int { return (n + GradBlockSize - 1) / GradBlockSize }
+
+// AddWeightedRows accumulates dst += sum_k w[k] * rows.Sample(k) using the
+// fixed-block scheme above, fanning block partials across up to workers
+// goroutines. parts must be a GradBlocks(rows.N) x rows.Dim workspace; its
+// contents are overwritten. dst is NOT zeroed first.
+func AddWeightedRows(dst tensor.Vector, rows *tensor.Batch, w []float64, parts *tensor.Batch, workers int) {
+	nb := GradBlocks(rows.N)
+	if parts.N < nb || parts.Dim != rows.Dim {
+		panic("core: AddWeightedRows parts workspace too small")
+	}
+	parallel.For(nb, workers, func(lo, hi int) {
+		for bi := lo; bi < hi; bi++ {
+			p := parts.Sample(bi)
+			p.Fill(0)
+			k1 := (bi + 1) * GradBlockSize
+			if k1 > rows.N {
+				k1 = rows.N
+			}
+			for k := bi * GradBlockSize; k < k1; k++ {
+				p.AXPY(w[k], rows.Sample(k))
+			}
+		}
+	})
+	for bi := 0; bi < nb; bi++ {
+		dst.Add(parts.Sample(bi))
+	}
+}

@@ -83,6 +83,11 @@ type Config struct {
 	BatchSize int // training batch size (paper: 1024)
 	Workers   int // CPU parallelism; <=0 means GOMAXPROCS
 	SR        *optimizer.SR
+	// Eval selects the evaluation path: EvalAuto (default) fuses local
+	// energies and gradients into blocked GEMMs over the batch dimension
+	// when the model supports it; EvalScalar forces the per-sample path.
+	// The choice never changes a produced bit.
+	Eval EvalMode
 }
 
 // Trainer runs the VQMC loop for one (Hamiltonian, model, sampler,
@@ -101,6 +106,14 @@ type Trainer struct {
 	evals   []nn.GradEvaluator
 	iter    int
 	timings Timings
+	// Batched evaluation state: bev is non-nil when the model provides a
+	// batched path and Config.Eval allows it; wbuf holds the per-sample
+	// gradient coefficients, gparts the fixed-block reduction partials,
+	// and slabOws the gradient slab for the batched streaming path.
+	bev     *BatchedEval
+	wbuf    []float64
+	gparts  *tensor.Batch
+	slabOws *tensor.Batch
 	// Evaluation workspace, cached across EvaluateBest calls so TrainUntil
 	// (which evaluates after every iteration) allocates nothing per step.
 	evalBatch  *sampler.Batch
@@ -126,6 +139,9 @@ func New(h hamiltonian.Hamiltonian, model Model, smp sampler.Sampler, opt optimi
 	for i := range t.evals {
 		t.evals[i] = newGradEvaluator(model)
 	}
+	t.bev = NewBatchedEval(model, cfg.Eval, cfg.Workers)
+	t.wbuf = make([]float64, cfg.BatchSize)
+	t.gparts = tensor.NewBatch(GradBlocks(cfg.BatchSize), model.NumParams())
 	return t
 }
 
@@ -155,7 +171,11 @@ func (t *Trainer) Step() IterStats {
 	t1 := time.Now()
 	t.timings.Sample += t1.Sub(t0)
 
-	LocalEnergies(t.H, t.Model, t.batch, t.cfg.Workers, t.locals)
+	if t.bev != nil {
+		t.bev.LocalEnergies(t.H, t.batch, t.cfg.Workers, t.locals)
+	} else {
+		LocalEnergies(t.H, t.Model, t.batch, t.cfg.Workers, t.locals)
+	}
 	mean, std := stats.MeanStd(t.locals)
 	t2 := time.Now()
 	t.timings.Energy += t2.Sub(t1)
@@ -172,6 +192,9 @@ func (t *Trainer) Step() IterStats {
 		stats.SRIters, stats.SRResidual = solve.Iterations, solve.Residual
 	}
 	t.Opt.Step(t.Model.Params(), step)
+	// The in-place parameter update invalidates any parameter-derived
+	// cache (MADE's masked-weight product for the batched GEMM path).
+	nn.InvalidateParams(t.Model)
 	t.timings.Update += time.Since(t3)
 
 	return stats
@@ -192,40 +215,81 @@ func FillOws(evals []nn.GradEvaluator, b *sampler.Batch, ows *tensor.Batch, work
 	})
 }
 
-// computeGradient forms g = (2/B) sum_k (l_k - mean) O_k. Under SR the
-// per-sample O_k rows are also stored for the Fisher solve; otherwise
-// gradients are reduced on the fly with per-worker accumulators and never
-// materialized.
+// GradSlabRows is the sample-slab size of the batched streaming gradient
+// path (no materialized full O_k batch): a multiple of GradBlockSize, so
+// slab boundaries coincide with reduction-block boundaries and the slabbed
+// reduction is bitwise identical to one AddWeightedRows over the full
+// batch. Shared with the distributed trainer's REINFORCE path.
+const GradSlabRows = 128
+
+// computeGradient forms g = (2/B) sum_k (l_k - mean) O_k through the
+// fixed-block reduction of AddWeightedRows, so the result is bitwise
+// invariant to the worker count on every path. Under SR the per-sample O_k
+// rows are also stored for the Fisher solve; otherwise the rows are
+// produced slab by slab (batched) or block by block (scalar) and never
+// fully materialized.
 func (t *Trainer) computeGradient(mean float64) {
 	bs := t.batch.N
 	d := t.Model.NumParams()
-	if t.ows != nil {
-		FillOws(t.evals, t.batch, t.ows, t.cfg.Workers)
-		for i := range t.grad {
-			t.grad[i] = 0
-		}
-		for k := 0; k < bs; k++ {
-			t.grad.AXPY(2*(t.locals[k]-mean)/float64(bs), t.ows.Sample(k))
-		}
-		return
+	for k := 0; k < bs; k++ {
+		t.wbuf[k] = 2 * (t.locals[k] - mean) / float64(bs)
 	}
-	ranges := parallel.Partition(bs, t.cfg.Workers)
-	parts := make([]tensor.Vector, len(ranges))
-	parallel.ForEach(len(ranges), t.cfg.Workers, func(w int) {
-		ev := t.evals[w]
-		acc := tensor.NewVector(d)
-		gbuf := tensor.NewVector(d)
-		for k := ranges[w].Lo; k < ranges[w].Hi; k++ {
-			ev.GradLogPsi(t.batch.Row(k), gbuf)
-			acc.AXPY(2*(t.locals[k]-mean)/float64(bs), gbuf)
-		}
-		parts[w] = acc
-	})
 	for i := range t.grad {
 		t.grad[i] = 0
 	}
-	for _, p := range parts {
-		t.grad.Add(p)
+	if t.ows != nil {
+		if t.bev != nil {
+			t.bev.FillOws(t.batch, t.ows)
+		} else {
+			FillOws(t.evals, t.batch, t.ows, t.cfg.Workers)
+		}
+		AddWeightedRows(t.grad, t.ows, t.wbuf, t.gparts, t.cfg.Workers)
+		return
+	}
+	if t.bev != nil {
+		// Batched streaming: evaluate O_k rows one GradSlabRows slab at a time
+		// through the fused GEMM forward, reducing each slab with the same
+		// fixed blocks the one-shot reduction uses.
+		if t.slabOws == nil {
+			t.slabOws = tensor.NewBatch(GradSlabRows, d)
+		}
+		for lo := 0; lo < bs; lo += GradSlabRows {
+			hi := lo + GradSlabRows
+			if hi > bs {
+				hi = bs
+			}
+			slab := &sampler.Batch{N: hi - lo, Sites: t.batch.Sites,
+				Bits: t.batch.Bits[lo*t.batch.Sites : hi*t.batch.Sites]}
+			rows := &tensor.Batch{N: hi - lo, Dim: d, Data: t.slabOws.Data[:(hi-lo)*d]}
+			t.bev.FillOws(slab, rows)
+			AddWeightedRows(t.grad, rows, t.wbuf[lo:hi], t.gparts, t.cfg.Workers)
+		}
+		return
+	}
+	// Scalar streaming: each worker owns a contiguous range of fixed
+	// blocks, computing the per-block partials that are then folded in
+	// ascending block order — the same bytes AddWeightedRows produces from
+	// materialized rows.
+	nb := GradBlocks(bs)
+	branges := parallel.Partition(nb, t.cfg.Workers)
+	parallel.ForEach(len(branges), t.cfg.Workers, func(w int) {
+		ev := t.evals[w]
+		gbuf := tensor.NewVector(d)
+		for bi := branges[w].Lo; bi < branges[w].Hi; bi++ {
+			p := t.gparts.Sample(bi)
+			p.Fill(0)
+			k1 := (bi + 1) * GradBlockSize
+			if k1 > bs {
+				k1 = bs
+			}
+			for k := bi * GradBlockSize; k < k1; k++ {
+				ev.GradLogPsi(t.batch.Row(k), gbuf)
+				p.AXPY(t.wbuf[k], gbuf)
+			}
+		}
+	})
+	for bi := 0; bi < nb; bi++ {
+		t.grad.Add(t.gparts.Sample(bi))
 	}
 }
 
@@ -264,7 +328,11 @@ func (t *Trainer) EvaluateBest(batchSize int) (mean, std, best float64, argBest 
 	}
 	b, locals := t.evalBatch, t.evalLocals
 	t.Smp.Sample(b)
-	LocalEnergies(t.H, t.Model, b, t.cfg.Workers, locals)
+	if t.bev != nil {
+		t.bev.LocalEnergies(t.H, b, t.cfg.Workers, locals)
+	} else {
+		LocalEnergies(t.H, t.Model, b, t.cfg.Workers, locals)
+	}
 	mean, std = stats.MeanStd(locals)
 	best = locals[0]
 	kBest := 0

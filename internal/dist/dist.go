@@ -82,6 +82,12 @@ type Replica struct {
 	// is a pure throughput knob: trained parameters are bitwise identical
 	// for any mix of worker counts across replicas.
 	Workers int
+	// Eval selects the replica's evaluation path (core.EvalAuto fuses
+	// local energies and gradients into blocked GEMMs over the mini-batch;
+	// core.EvalScalar forces per-sample evaluation). Like Workers it is a
+	// pure throughput knob — the batched path is bitwise identical to the
+	// scalar one, so replicas may even mix modes without diverging.
+	Eval core.EvalMode
 }
 
 // distFisher is the distributed FisherOp: it owns one replica's private O_k
@@ -151,9 +157,20 @@ type replicaState struct {
 	// everything.
 	acc tensor.Vector
 	// ows holds the replica's private O_k rows (miniBatch x d), allocated
-	// when SR needs them for the Fisher solve or when workers > 1
-	// materializes rows before the ordered reduction.
+	// when SR needs them for the Fisher solve or when workers > 1 on the
+	// scalar path materializes rows before the ordered reduction.
 	ows *tensor.Batch
+	// Batched evaluation state: bev dispatches local energies and O_k
+	// rows through blocked GEMMs (nil = scalar path); wbuf holds gradient
+	// coefficients, gparts the fixed-block reduction partials, and
+	// slabOws the REINFORCE-path gradient slab (the batched non-SR
+	// reduction streams core.GradSlabRows rows at a time instead of
+	// materializing the full miniBatch x d O_k matrix).
+	bev     *core.BatchedEval
+	wbuf    []float64
+	gparts  *tensor.Batch
+	slabOws *tensor.Batch
+	pbuf    tensor.Vector // block partial for the scalar streaming path
 	// SR-mode collective payloads: ebuf carries [energy sum, energy sum of
 	// squares] (the global mean must exist before the gradient is formed),
 	// gpack carries [gradient partial (d) | O-row sum (d)].
@@ -268,8 +285,19 @@ func New(h hamiltonian.Hamiltonian, reps []Replica, miniBatch int) (*Trainer, er
 		for w := range st.evals {
 			st.evals[w] = rep.Model.NewGradEvaluator()
 		}
-		if t.sr || workers > 1 {
+		st.bev = core.NewBatchedEval(rep.Model, rep.Eval, workers)
+		st.wbuf = make([]float64, miniBatch)
+		st.gparts = tensor.NewBatch(core.GradBlocks(miniBatch), t.d)
+		st.pbuf = tensor.NewVector(t.d)
+		if t.sr || (workers > 1 && st.bev == nil) {
 			st.ows = tensor.NewBatch(miniBatch, t.d)
+		}
+		if st.bev != nil && !t.sr {
+			rows := core.GradSlabRows
+			if rows > miniBatch {
+				rows = miniBatch
+			}
+			st.slabOws = tensor.NewBatch(rows, t.d)
 		}
 		if t.sr {
 			st.ebuf = make([]float64, 2)
@@ -397,8 +425,13 @@ func (t *Trainer) replicaStep(r int) {
 
 	// Intra-replica evaluation fans across the replica's workers; rows are
 	// independent, so the values are bitwise identical for every worker
-	// count.
-	core.LocalEnergies(t.H, rep.Model, st.batch, st.workers, st.locals)
+	// count (and for either evaluation path — the batched GEMM dispatch
+	// reproduces the scalar bytes exactly).
+	if st.bev != nil {
+		st.bev.LocalEnergies(t.H, st.batch, st.workers, st.locals)
+	} else {
+		core.LocalEnergies(t.H, rep.Model, st.batch, st.workers, st.locals)
+	}
 	// One-pass sums, accumulated in sample order exactly like
 	// stats.MeanStd so an L=1 trainer reproduces core.Trainer bitwise.
 	var s, s2 float64
@@ -415,21 +448,49 @@ func (t *Trainer) replicaStep(r int) {
 
 	// REINFORCE path: local covariance-style gradient (Eq. 5) with the
 	// local-batch baseline, g = (2/mb) sum_k (l_k - localMean) O_k. The
-	// reduction runs in sample order regardless of the worker count: with
-	// workers > 1 the O_k rows are materialized in parallel first, then
-	// reduced by the same ordered loop the streaming path uses.
+	// reduction uses core's fixed-block scheme on every path (see
+	// core.AddWeightedRows): block boundaries depend only on the sample
+	// index, so the reduced bytes are bitwise invariant to the worker
+	// count and to the batched/scalar choice.
 	localMean := s / float64(t.mb)
+	for k := 0; k < t.mb; k++ {
+		st.wbuf[k] = 2 * (st.locals[k] - localMean) / float64(t.mb)
+	}
 	st.acc.Fill(0)
 	grad := st.acc[:t.d]
-	if st.ows != nil {
-		core.FillOws(st.evals, st.batch, st.ows, st.workers)
-		for k := 0; k < t.mb; k++ {
-			grad.AXPY(2*(st.locals[k]-localMean)/float64(t.mb), st.ows.Sample(k))
+	if st.bev != nil {
+		// Batched streaming: O_k rows one core.GradSlabRows slab at a
+		// time through the fused GEMM forward; slab boundaries align with
+		// the reduction blocks, so the bytes equal a one-shot reduction
+		// over a fully materialized O_k batch.
+		for lo := 0; lo < t.mb; lo += core.GradSlabRows {
+			hi := lo + core.GradSlabRows
+			if hi > t.mb {
+				hi = t.mb
+			}
+			slab := &sampler.Batch{N: hi - lo, Sites: st.batch.Sites,
+				Bits: st.batch.Bits[lo*st.batch.Sites : hi*st.batch.Sites]}
+			rows := &tensor.Batch{N: hi - lo, Dim: t.d, Data: st.slabOws.Data[:(hi-lo)*t.d]}
+			st.bev.FillOws(slab, rows)
+			core.AddWeightedRows(grad, rows, st.wbuf[lo:hi], st.gparts, st.workers)
 		}
+	} else if st.ows != nil {
+		core.FillOws(st.evals, st.batch, st.ows, st.workers)
+		core.AddWeightedRows(grad, st.ows, st.wbuf, st.gparts, st.workers)
 	} else {
-		for k := 0; k < t.mb; k++ {
-			st.evals[0].GradLogPsi(st.batch.Row(k), st.gbuf)
-			grad.AXPY(2*(st.locals[k]-localMean)/float64(t.mb), st.gbuf)
+		// Serial streaming (workers == 1, scalar): the same fixed blocks,
+		// folded in ascending order as they complete.
+		for lo := 0; lo < t.mb; lo += core.GradBlockSize {
+			hi := lo + core.GradBlockSize
+			if hi > t.mb {
+				hi = t.mb
+			}
+			st.pbuf.Fill(0)
+			for k := lo; k < hi; k++ {
+				st.evals[0].GradLogPsi(st.batch.Row(k), st.gbuf)
+				st.pbuf.AXPY(st.wbuf[k], st.gbuf)
+			}
+			grad.Add(st.pbuf)
 		}
 	}
 	st.acc[t.d] = s
@@ -445,6 +506,7 @@ func (t *Trainer) replicaStep(r int) {
 	// bit-identical without any broadcast.
 	grad.Scale(1 / float64(len(t.Reps)))
 	rep.Opt.Step(rep.Model.Params(), grad)
+	nn.InvalidateParams(rep.Model)
 	sw.lap(&t.timings.Update)
 }
 
@@ -467,14 +529,22 @@ func (t *Trainer) srStep(rep Replica, st *replicaState, s, s2 float64, sw *stopw
 	sw.lap(&t.timings.Sync)
 	mean := st.ebuf[0] / t.bf
 
-	core.FillOws(st.evals, st.batch, st.ows, st.workers)
+	if st.bev != nil {
+		st.bev.FillOws(st.batch, st.ows)
+	} else {
+		core.FillOws(st.evals, st.batch, st.ows, st.workers)
+	}
 	st.gpack.Zero()
 	grad := tensor.Vector(st.gpack.Section(0))
 	osum := tensor.Vector(st.gpack.Section(1))
 	for k := 0; k < t.mb; k++ {
-		row := st.ows.Sample(k)
-		grad.AXPY(2*(st.locals[k]-mean)/t.bf, row)
-		osum.Add(row)
+		st.wbuf[k] = 2 * (st.locals[k] - mean) / t.bf
+	}
+	core.AddWeightedRows(grad, st.ows, st.wbuf, st.gparts, st.workers)
+	// The O-row sum stays a plain ordered loop: it must match the serial
+	// NewBatchFisher obar accumulation bit-for-bit at L=1.
+	for k := 0; k < t.mb; k++ {
+		osum.Add(st.ows.Sample(k))
 	}
 	sw.lap(&t.timings.Grad)
 
@@ -489,6 +559,7 @@ func (t *Trainer) srStep(rep Replica, st *replicaState, s, s2 float64, sw *stopw
 	sw.lap(&t.timings.Precond)
 
 	rep.Opt.Step(rep.Model.Params(), delta)
+	nn.InvalidateParams(rep.Model)
 	sw.lap(&t.timings.Update)
 }
 
@@ -564,7 +635,11 @@ func (t *Trainer) Evaluate(batch int) (mean, std float64) {
 				b := sampler.NewBatch(cnt, t.H.N())
 				t.Reps[r].Smp.Sample(b)
 				locals := make([]float64, cnt)
-				core.LocalEnergies(t.H, t.Reps[r].Model, b, t.state[r].workers, locals)
+				if t.state[r].bev != nil {
+					t.state[r].bev.LocalEnergies(t.H, b, t.state[r].workers, locals)
+				} else {
+					core.LocalEnergies(t.H, t.Reps[r].Model, b, t.state[r].workers, locals)
+				}
 				for _, e := range locals {
 					acc[0] += e
 					acc[1] += e * e

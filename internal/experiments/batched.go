@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"time"
+
+	"github.com/vqmc-scale/parvqmc/internal/core"
+	"github.com/vqmc-scale/parvqmc/internal/hamiltonian"
+	"github.com/vqmc-scale/parvqmc/internal/nn"
+	"github.com/vqmc-scale/parvqmc/internal/optimizer"
+	"github.com/vqmc-scale/parvqmc/internal/rng"
+	"github.com/vqmc-scale/parvqmc/internal/sampler"
+	"github.com/vqmc-scale/parvqmc/internal/trace"
+)
+
+// timeEvalPath measures the per-iteration wall time of a full VQMC step
+// (sample + local energies + gradient + update) in the given evaluation
+// mode, returning ns/iteration. Both modes produce bitwise-identical
+// trajectories, so the comparison is pure throughput.
+func timeEvalPath(n, h, bs, workers, iters int, mode core.EvalMode) (float64, *core.Trainer) {
+	tim := hamiltonian.RandomTIM(n, rng.New(31))
+	m := nn.NewMADE(n, h, rng.New(32))
+	var smp sampler.Sampler
+	if mode == core.EvalScalar {
+		smp = sampler.NewAutoMADE(m, true, workers, rng.New(33))
+	} else {
+		smp = sampler.NewAutoBatched(n, m, workers, rng.New(33))
+	}
+	tr := core.New(tim, m, smp, optimizer.NewAdam(0.01),
+		core.Config{BatchSize: bs, Workers: workers, Eval: mode})
+	tr.Step() // warm caches and workspaces
+	start := time.Now()
+	tr.Train(iters, nil)
+	return float64(time.Since(start).Nanoseconds()) / float64(iters), tr
+}
+
+// Batched is the scalar-vs-batched A/B: the same training step timed
+// through the per-sample path and through the fused-GEMM path, across the
+// preset's runnable dimensions. The energy column double-checks that the
+// two trajectories are numerically identical (they are bitwise equal by
+// construction; the table shows the difference as 0).
+func Batched(p Preset, out io.Writer, csvDir string) error {
+	workers := p.Workers
+	iters := p.Iters / 10
+	if iters < 3 {
+		iters = 3
+	}
+	tbl := trace.NewTable(
+		fmt.Sprintf("Batched GEMM evaluation vs per-sample path (bs=%d, %d timed iters, preset %s)",
+			p.BatchSize, iters, p.Name),
+		"n", "h", "scalar ms/iter", "batched ms/iter", "speedup", "|E_scalar - E_batched|")
+	for _, n := range realDims(p) {
+		h := hiddenMADE(n)
+		sNS, trS := timeEvalPath(n, h, p.BatchSize, workers, iters, core.EvalScalar)
+		bNS, trB := timeEvalPath(n, h, p.BatchSize, workers, iters, core.EvalAuto)
+		eS, _ := trS.Evaluate(p.EvalBatch)
+		eB, _ := trB.Evaluate(p.EvalBatch)
+		diff := eS - eB
+		if diff < 0 {
+			diff = -diff
+		}
+		tbl.AddRow(n, h,
+			fmt.Sprintf("%.2f", sNS/1e6),
+			fmt.Sprintf("%.2f", bNS/1e6),
+			fmt.Sprintf("%.2fx", sNS/bNS),
+			fmt.Sprintf("%.1e", diff))
+	}
+	if err := tbl.Render(out); err != nil {
+		return err
+	}
+	if csvDir != "" {
+		return tbl.WriteCSV(filepath.Join(csvDir, "batched.csv"))
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package nn
+
+import "github.com/vqmc-scale/parvqmc/internal/tensor"
+
+// ConfigBatch is a flat batch of n-bit configurations, row-major N x Sites.
+// It is structurally identical to sampler.Batch and exists so the batched
+// evaluation contract can live here without an import cycle; callers
+// holding a sampler.Batch alias its storage zero-copy.
+type ConfigBatch struct {
+	N, Sites int
+	Bits     []int
+}
+
+// Row returns configuration i, aliasing the batch storage.
+func (b ConfigBatch) Row(i int) []int { return b.Bits[i*b.Sites : (i+1)*b.Sites] }
+
+// BatchEvaluator evaluates a whole batch of configurations through blocked
+// matrix products over the sample dimension instead of per-sample
+// matrix-vector calls — the evaluation fusion the paper's scalability
+// argument rests on (amplitude work is embarrassingly parallel across
+// samples, so it should saturate the hardware as GEMMs).
+//
+// Bitwise-equivalence guarantee: every method produces EXACTLY the bytes
+// the corresponding scalar path produces — LogPsiBatch matches per-row
+// LogPsi, GradLogPsiBatch matches per-row GradLogPsi, and FlipLogPsiBatch
+// matches the model's FlipCache (base log-psi as Reset computes it, flipped
+// log-psi as Delta's fresh forward computes it) — and is invariant to the
+// worker count the evaluator was built with. Implementations achieve this
+// by accumulating every fused product in the same fixed contraction order
+// as the scalar kernels (see tensor.MatMul and tensor.MatMulReLU, which
+// MADE drives against pre-transposed masked weights; tensor.MatMulT is
+// the same contract for untransposed operands). The guarantee is
+// load-bearing:
+// package dist checks replica consistency with exact ==, and the batched
+// and scalar paths must remain interchangeable underneath it.
+//
+// Implementations own growable scratch and are NOT safe for concurrent
+// use; they parallelize internally across the workers they were built with.
+type BatchEvaluator interface {
+	// LogPsiBatch fills out[k] = log|psi(row k)| for every row of b.
+	// len(out) must be b.N.
+	LogPsiBatch(b ConfigBatch, out []float64)
+	// GradLogPsiBatch fills ows row k with grad log|psi(row k)|.
+	// ows must be b.N x NumParams.
+	GradLogPsiBatch(b ConfigBatch, ows *tensor.Batch)
+	// FlipLogPsiBatch evaluates the B x (F+1) flip super-batch: base[k]
+	// receives log|psi(row k)| computed exactly as the model's FlipCache
+	// base (for MADE: the incremental site-order hidden accumulation), and
+	// flipLogPsi[k*len(flips)+f] receives log|psi| of row k with bit
+	// flips[f] flipped, computed exactly as FlipCache.Delta's fresh
+	// forward. len(base) must be b.N and len(flipLogPsi) b.N*len(flips).
+	FlipLogPsiBatch(b ConfigBatch, flips []int, base, flipLogPsi []float64)
+}
+
+// BatchEvaluatorBuilder is implemented by wavefunctions that provide a
+// batched evaluation path. workers bounds the internal parallelism
+// (<= 0 means GOMAXPROCS); the returned evaluator is worker-count invariant
+// in its VALUES, workers only set the fan-out.
+type BatchEvaluatorBuilder interface {
+	NewBatchEvaluator(workers int) BatchEvaluator
+}
+
+// BatchAncestralSampler advances a whole batch of ancestral samples
+// site-major: one fused pass over the B x h hidden state per site instead
+// of B independent site loops, so the per-site weight column stays hot in
+// cache across the entire batch.
+//
+// Sample fills b's bits from pre-drawn uniforms u (row-major, u[k*Sites+i]
+// drives bit i of sample k): bit = 1 iff u < P(x_i = 1 | x_<i). Because the
+// per-sample conditional arithmetic is identical to the scalar incremental
+// evaluator's (same ConditionalRow/AccumulateInput calls in the same
+// per-sample order), the sampled bits are bitwise identical to scalar
+// ancestral sampling fed the same uniforms.
+type BatchAncestralSampler interface {
+	Sample(b ConfigBatch, u []float64, workers int)
+}
+
+// BatchAncestralBuilder is implemented by autoregressive models that
+// provide a batched ancestral sampler.
+type BatchAncestralBuilder interface {
+	NewBatchAncestralSampler() BatchAncestralSampler
+}
+
+// InvalidateParams notifies w, if it caches parameter-derived state (such
+// as MADE's masked-weight product W.M), that its parameter vector was
+// mutated in place. Trainers must call this after every optimizer step;
+// it is a no-op for models without derived caches.
+func InvalidateParams(w Wavefunction) {
+	if v, ok := w.(interface{ InvalidateParams() }); ok {
+		v.InvalidateParams()
+	}
+}

@@ -1,0 +1,230 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"github.com/vqmc-scale/parvqmc/internal/rng"
+	"github.com/vqmc-scale/parvqmc/internal/tensor"
+)
+
+// batchCases are the (B, workers, n) grids the batched-vs-scalar
+// bit-identity properties run over (the ISSUE's acceptance matrix).
+var (
+	batchSizes   = []int{1, 3, 64}
+	workerCounts = []int{1, 2, 5}
+	siteCounts   = []int{1, 2, 7, 19}
+)
+
+func randomConfigs(bs, n int, r *rng.Rand) ConfigBatch {
+	b := ConfigBatch{N: bs, Sites: n, Bits: make([]int, bs*n)}
+	r.FillBits(b.Bits)
+	return b
+}
+
+// TestLogPsiBatchBitIdentical: LogPsiBatch must equal per-row LogPsi with
+// exact ==, for every batch size, worker count and site count.
+func TestLogPsiBatchBitIdentical(t *testing.T) {
+	for _, n := range siteCounts {
+		m := NewMADE(n, 6+n, rng.New(uint64(100+n)))
+		for _, workers := range workerCounts {
+			e := m.NewBatchEvaluator(workers)
+			for _, bs := range batchSizes {
+				b := randomConfigs(bs, n, rng.New(uint64(7*bs+n)))
+				out := make([]float64, bs)
+				e.LogPsiBatch(b, out)
+				s := m.NewScratch()
+				for k := 0; k < bs; k++ {
+					want := m.LogPsiScratch(b.Row(k), s)
+					if out[k] != want {
+						t.Fatalf("n=%d w=%d B=%d row %d: batched %v != scalar %v",
+							n, workers, bs, k, out[k], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGradLogPsiBatchBitIdentical: every ows row must equal the scalar
+// GradLogPsi of that configuration with exact ==.
+func TestGradLogPsiBatchBitIdentical(t *testing.T) {
+	for _, n := range siteCounts {
+		m := NewMADE(n, 5+n/2, rng.New(uint64(200+n)))
+		d := m.NumParams()
+		for _, workers := range workerCounts {
+			e := m.NewBatchEvaluator(workers)
+			for _, bs := range batchSizes {
+				b := randomConfigs(bs, n, rng.New(uint64(13*bs+n)))
+				ows := tensor.NewBatch(bs, d)
+				e.GradLogPsiBatch(b, ows)
+				s := m.NewScratch()
+				want := tensor.NewVector(d)
+				for k := 0; k < bs; k++ {
+					m.GradLogPsiScratch(b.Row(k), want, s)
+					row := ows.Sample(k)
+					for i := range want {
+						if row[i] != want[i] {
+							t.Fatalf("n=%d w=%d B=%d row %d param %d: batched %v != scalar %v",
+								n, workers, bs, k, i, row[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFlipLogPsiBatchBitIdentical: base values must match the flip cache's
+// base LogPsi and flip values must match base + Delta, exactly — the
+// property core.LocalEnergies' batched dispatch relies on.
+func TestFlipLogPsiBatchBitIdentical(t *testing.T) {
+	for _, n := range siteCounts {
+		m := NewMADE(n, 4+n, rng.New(uint64(300+n)))
+		// All single-bit flips, the TIM local-energy pattern.
+		flips := make([]int, n)
+		for i := range flips {
+			flips[i] = i
+		}
+		for _, workers := range workerCounts {
+			e := m.NewBatchEvaluator(workers)
+			for _, bs := range batchSizes {
+				b := randomConfigs(bs, n, rng.New(uint64(17*bs+n)))
+				base := make([]float64, bs)
+				flipLP := make([]float64, bs*n)
+				e.FlipLogPsiBatch(b, flips, base, flipLP)
+				cache := m.NewFlipCache(b.Row(0))
+				for k := 0; k < bs; k++ {
+					if k > 0 {
+						cache.Reset(b.Row(k))
+					}
+					if base[k] != cache.LogPsi() {
+						t.Fatalf("n=%d w=%d B=%d row %d: batched base %v != cache %v",
+							n, workers, bs, k, base[k], cache.LogPsi())
+					}
+					for f, bit := range flips {
+						want := cache.LogPsi() + cache.Delta(bit)
+						if flipLP[k*n+f] != want {
+							t.Fatalf("n=%d w=%d B=%d row %d flip %d: batched %v != cache %v",
+								n, workers, bs, k, bit, flipLP[k*n+f], want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchAncestralBitIdentical: fed the same uniforms, the batched
+// site-major sampler must produce exactly the bits of the scalar
+// incremental evaluator walked sample-major.
+func TestBatchAncestralBitIdentical(t *testing.T) {
+	for _, n := range siteCounts {
+		m := NewMADE(n, 6+n, rng.New(uint64(400+n)))
+		bsmp := m.NewBatchAncestralSampler()
+		for _, bs := range batchSizes {
+			u := make([]float64, bs*n)
+			rng.New(uint64(19*bs+n)).FillUniform(u, 0, 1)
+			// Scalar reference: incremental evaluator, one sample at a time.
+			want := make([]int, bs*n)
+			ev := m.NewIncrementalEvaluator()
+			for k := 0; k < bs; k++ {
+				ev.Reset()
+				for i := 0; i < n; i++ {
+					bit := 0
+					if u[k*n+i] < ev.Prob(i) {
+						bit = 1
+					}
+					want[k*n+i] = bit
+					ev.Fix(i, bit)
+				}
+			}
+			for _, workers := range workerCounts {
+				b := ConfigBatch{N: bs, Sites: n, Bits: make([]int, bs*n)}
+				bsmp.Sample(b, u, workers)
+				for i := range want {
+					if b.Bits[i] != want[i] {
+						t.Fatalf("n=%d B=%d w=%d: bit %d = %d, scalar %d",
+							n, bs, workers, i, b.Bits[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMaskedWeightCacheInvalidation: the W.M cache must be rebuilt after
+// InvalidateParams and must poison results if it is NOT invalidated — the
+// teeth that prove the version counter is load-bearing.
+func TestMaskedWeightCacheInvalidation(t *testing.T) {
+	n := 6
+	m := NewMADE(n, 8, rng.New(5))
+	e := m.NewBatchEvaluator(2)
+	b := randomConfigs(4, n, rng.New(6))
+	out := make([]float64, 4)
+	e.LogPsiBatch(b, out) // builds the cache
+
+	// Mutate a weight that is inside the mask support and invalidate: the
+	// batched value must track the scalar one.
+	m.Params()[0] += 0.125
+	InvalidateParams(m)
+	e.LogPsiBatch(b, out)
+	for k := 0; k < 4; k++ {
+		if want := m.LogPsi(b.Row(k)); out[k] != want {
+			t.Fatalf("after invalidation row %d: batched %v != scalar %v", k, out[k], want)
+		}
+	}
+
+	// Teeth: mutate again WITHOUT invalidating; the stale cache must now
+	// disagree with the scalar path (if it silently agreed, the cache
+	// would not actually be caching anything).
+	m.Params()[0] += 0.125
+	e.LogPsiBatch(b, out)
+	stale := false
+	for k := 0; k < 4; k++ {
+		if out[k] != m.LogPsi(b.Row(k)) {
+			stale = true
+		}
+	}
+	if !stale {
+		t.Fatal("stale masked-weight cache still matched fresh weights; cache is not engaged")
+	}
+	InvalidateParams(m)
+}
+
+// TestFlipCacheIncrementalRegression pins the incremental flip cache
+// against fresh LogPsi calls: after arbitrary interleavings of Flip, Delta
+// and Reset the cached base log psi and every delta must agree with a full
+// recomputation to near machine precision (the incremental z1 reorders
+// sums, so exact == is not expected here — the batched path instead
+// matches the cache itself exactly).
+func TestFlipCacheIncrementalRegression(t *testing.T) {
+	r := rng.New(9)
+	for _, n := range []int{1, 2, 7, 19} {
+		m := NewMADE(n, 5+n, r.Split())
+		x := make([]int, n)
+		r.FillBits(x)
+		c := m.NewFlipCache(x)
+		y := make([]int, n)
+		for trial := 0; trial < 200; trial++ {
+			if math.Abs(c.LogPsi()-m.LogPsi(c.State())) > 1e-12 {
+				t.Fatalf("n=%d trial %d: cache logPsi %v, fresh %v",
+					n, trial, c.LogPsi(), m.LogPsi(c.State()))
+			}
+			bit := r.Intn(n)
+			copy(y, c.State())
+			y[bit] = 1 - y[bit]
+			want := m.LogPsi(y) - m.LogPsi(c.State())
+			if got := c.Delta(bit); math.Abs(got-want) > 1e-12 {
+				t.Fatalf("n=%d trial %d: Delta(%d) = %v, fresh %v", n, trial, bit, got, want)
+			}
+			switch trial % 3 {
+			case 0:
+				c.Flip(bit)
+			case 1:
+				r.FillBits(y)
+				c.Reset(y)
+			}
+		}
+	}
+}

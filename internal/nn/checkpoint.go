@@ -107,6 +107,7 @@ func LoadWavefunction(r io.Reader) (Wavefunction, error) {
 		}
 		params[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
 	}
+	InvalidateParams(wf)
 	return wf, nil
 }
 

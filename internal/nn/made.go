@@ -33,6 +33,19 @@ type MADE struct {
 	M2 *tensor.Matrix // n x h: M2[j][k] = 1 iff j+1 > deg(k)
 	// deg[k] in 1..n-1 is the hidden unit's autoregressive degree.
 	deg []int
+	// Masked-weight cache for the batched GEMM path: wm1t/wm2t hold the
+	// TRANSPOSED elementwise products (W1.M1)^T (n x h) and (W2.M2)^T
+	// (h x n), materialized once per parameter version and reused by every
+	// batched evaluation until the optimizer mutates theta. The transposed
+	// layout lets the batched forward run as dst = X * (W.M)^T in the ikj
+	// loop order, which keeps independent accumulators per output column
+	// (throughput-bound instead of latency-bound) while still summing each
+	// element in the scalar kernels' ascending contraction order. version
+	// is bumped by InvalidateParams; wmVersion records the version the
+	// cache was built at (0 = never built).
+	version    uint64
+	wmVersion  uint64
+	wm1t, wm2t *tensor.Matrix
 }
 
 // MADEScratch holds per-worker forward/backward buffers so concurrent
@@ -90,7 +103,42 @@ func NewMADE(n, h int, r *rng.Rand) *MADE {
 	uniformInit(m.B1, n, r)
 	uniformInit(m.W2.Data, h, r)
 	uniformInit(m.B2, h, r)
+	m.version = 1
 	return m
+}
+
+// InvalidateParams marks the masked-weight cache stale. It must be called
+// after any in-place mutation of Params() (optimizer steps, checkpoint
+// loads); trainers do this through nn.InvalidateParams.
+func (m *MADE) InvalidateParams() { m.version++ }
+
+// maskedWeights returns (W1.M1)^T and (W2.M2)^T, rebuilding the cached
+// products if the parameters changed since the last build. Because the
+// masks hold exact 0/1 entries, each cached element w*m is either w or a
+// signed zero — bit-for-bit the first factor of the scalar kernel's w*m*x
+// product — so GEMMs over the cache reproduce MaskedMulVec exactly
+// (multiplication commutes bitwise, and transposition is pure layout).
+// Not safe for concurrent first use; the batched paths call it from the
+// coordinating goroutine before fanning out.
+func (m *MADE) maskedWeights() (wm1t, wm2t *tensor.Matrix) {
+	if m.wmVersion != m.version {
+		if m.wm1t == nil {
+			m.wm1t = tensor.NewMatrix(m.n, m.h)
+			m.wm2t = tensor.NewMatrix(m.h, m.n)
+		}
+		for k := 0; k < m.h; k++ {
+			for i := 0; i < m.n; i++ {
+				m.wm1t.Data[i*m.h+k] = m.W1.Data[k*m.n+i] * m.M1.Data[k*m.n+i]
+			}
+		}
+		for j := 0; j < m.n; j++ {
+			for k := 0; k < m.h; k++ {
+				m.wm2t.Data[k*m.n+j] = m.W2.Data[j*m.h+k] * m.M2.Data[j*m.h+k]
+			}
+		}
+		m.wmVersion = m.version
+	}
+	return m.wm1t, m.wm2t
 }
 
 // NewScratch allocates evaluation buffers for one worker.
@@ -210,22 +258,45 @@ func (m *MADE) AccumulateInput(z1 tensor.Vector, i, bit int) {
 	}
 }
 
+// RemoveInput subtracts bit i's contribution from the hidden pre-activation
+// vector z1, the inverse of AccumulateInput (incremental flip fast path).
+func (m *MADE) RemoveInput(z1 tensor.Vector, i, bit int) {
+	if bit == 0 {
+		return
+	}
+	for k := 0; k < m.h; k++ {
+		if m.M1.At(k, i) != 0 {
+			z1[k] -= m.W1.At(k, i)
+		}
+	}
+}
+
 // GradLogProbScratch accumulates d log pi / d theta into grad (overwritten).
 func (m *MADE) GradLogProbScratch(x []int, grad tensor.Vector, s *MADEScratch) {
+	m.Forward(x, s)
+	m.gradFromForward(x, s.Z1, s.A, s.Z2, s.dZ2, s.dA, grad)
+}
+
+// gradFromForward runs the analytic backward pass from an already computed
+// forward state (z1 pre-activation, a activation, z2 output pre-activation)
+// into grad. It is shared verbatim by the scalar and batched gradient paths
+// — identical forward bytes in, identical gradient bytes out — which is
+// how GradLogPsiBatch inherits the scalar path's exact values. dz2 (n) and
+// da (h) are caller-owned scratch.
+func (m *MADE) gradFromForward(x []int, z1, a, z2, dz2, da, grad tensor.Vector) {
 	if len(grad) != m.NumParams() {
 		panic("nn: gradient buffer has wrong length")
 	}
-	m.Forward(x, s)
 	// dlogpi/dz2_j = x_j - sigma(z2_j).
 	for j, b := range x {
-		s.dZ2[j] = float64(b) - 1/(1+math.Exp(-s.Z2[j]))
+		dz2[j] = float64(b) - 1/(1+math.Exp(-z2[j]))
 	}
 	// dA = (M2 .* W2)^T dZ2.
-	for k := range s.dA {
-		s.dA[k] = 0
+	for k := range da {
+		da[k] = 0
 	}
 	for j := 0; j < m.n; j++ {
-		dj := s.dZ2[j]
+		dj := dz2[j]
 		if dj == 0 {
 			continue
 		}
@@ -233,7 +304,7 @@ func (m *MADE) GradLogProbScratch(x []int, grad tensor.Vector, s *MADEScratch) {
 		mrow := m.M2.Row(j)
 		for k := range row {
 			if mrow[k] != 0 {
-				s.dA[k] += row[k] * dj
+				da[k] += row[k] * dj
 			}
 		}
 	}
@@ -245,13 +316,13 @@ func (m *MADE) GradLogProbScratch(x []int, grad tensor.Vector, s *MADEScratch) {
 	gB2 := grad[h*n+h+n*h:]
 	// Output layer.
 	for j := 0; j < n; j++ {
-		dj := s.dZ2[j]
+		dj := dz2[j]
 		gB2[j] = dj
 		base := j * h
 		mrow := m.M2.Row(j)
 		for k := 0; k < h; k++ {
 			if mrow[k] != 0 {
-				gW2[base+k] = dj * s.A[k]
+				gW2[base+k] = dj * a[k]
 			} else {
 				gW2[base+k] = 0
 			}
@@ -259,8 +330,8 @@ func (m *MADE) GradLogProbScratch(x []int, grad tensor.Vector, s *MADEScratch) {
 	}
 	// Hidden layer through ReLU.
 	for k := 0; k < h; k++ {
-		dz1 := s.dA[k]
-		if s.Z1[k] <= 0 {
+		dz1 := da[k]
+		if z1[k] <= 0 {
 			dz1 = 0
 		}
 		gB1[k] = dz1
@@ -287,14 +358,19 @@ func (m *MADE) GradLogPsiScratch(x []int, grad tensor.Vector, s *MADEScratch) {
 	grad.Scale(0.5)
 }
 
-// NewFlipCache implements CacheBuilder with a generic recompute-on-flip
-// cache: each Delta costs one O(hn) forward pass, in contrast to the RBM's
-// O(h) cache. This asymmetry is why the paper pairs MADE with exact
-// sampling rather than MCMC.
+// NewFlipCache implements CacheBuilder with an incremental cache: the base
+// configuration's hidden pre-activation z1 is maintained through
+// AccumulateInput/RemoveInput, so Reset costs one set-bit accumulation plus
+// one output-layer pass and Flip costs O(h) for the hidden update plus the
+// O(hn) output layer — no full layer-1 recompute. Delta still evaluates the
+// flipped configuration with a fresh full forward (it must not disturb the
+// cached state), in contrast to the RBM's O(h) delta; this asymmetry is why
+// the paper pairs MADE with exact sampling rather than MCMC. The batched
+// FlipLogPsiBatch path reproduces both conventions bit-for-bit.
 func (m *MADE) NewFlipCache(x []int) FlipCache {
-	c := &madeFlipCache{m: m, s: m.NewScratch(), x: make([]int, m.n)}
-	copy(c.x, x)
-	c.logPsi = m.LogPsiScratch(c.x, c.s)
+	c := &madeFlipCache{m: m, s: m.NewScratch(), x: make([]int, m.n),
+		z1: tensor.NewVector(m.h)}
+	c.Reset(x)
 	return c
 }
 
@@ -302,7 +378,19 @@ type madeFlipCache struct {
 	m      *MADE
 	s      *MADEScratch
 	x      []int
+	z1     tensor.Vector // incremental hidden pre-activation of x
 	logPsi float64
+}
+
+// refresh recomputes the output layer and log psi from the cached z1,
+// using the same "dot in k order, then bias" convention as Forward so the
+// batched path's layer-2 GEMM reproduces it exactly.
+func (c *madeFlipCache) refresh() {
+	copy(c.s.A, c.z1)
+	tensor.ReLU(c.s.A)
+	c.m.W2.MaskedMulVec(c.s.Z2, c.s.A, c.m.M2)
+	c.s.Z2.Add(c.m.B2)
+	c.logPsi = 0.5 * logProbFromZ2(c.x, c.s.Z2)
 }
 
 func (c *madeFlipCache) LogPsi() float64 { return c.logPsi }
@@ -314,15 +402,25 @@ func (c *madeFlipCache) Delta(bit int) float64 {
 }
 
 func (c *madeFlipCache) Flip(bit int) {
-	c.x[bit] = 1 - c.x[bit]
-	c.logPsi = c.m.LogPsiScratch(c.x, c.s)
+	if c.x[bit] == 1 {
+		c.m.RemoveInput(c.z1, bit, 1)
+		c.x[bit] = 0
+	} else {
+		c.m.AccumulateInput(c.z1, bit, 1)
+		c.x[bit] = 1
+	}
+	c.refresh()
 }
 
 func (c *madeFlipCache) State() []int { return c.x }
 
 func (c *madeFlipCache) Reset(x []int) {
 	copy(c.x, x)
-	c.logPsi = c.m.LogPsiScratch(c.x, c.s)
+	copy(c.z1, c.m.B1)
+	for i, b := range c.x {
+		c.m.AccumulateInput(c.z1, i, b)
+	}
+	c.refresh()
 }
 
 // NewGradEvaluator implements GradEvaluatorBuilder.

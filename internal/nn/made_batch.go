@@ -1,0 +1,295 @@
+package nn
+
+import (
+	"github.com/vqmc-scale/parvqmc/internal/parallel"
+	"github.com/vqmc-scale/parvqmc/internal/tensor"
+)
+
+// batchSlabRows caps the number of network rows materialized at once by the
+// batched evaluator, bounding workspace memory independently of the batch
+// size (a B=1024, n=32 TIM flip super-batch is 33k rows; slabs keep the
+// activations a few MB). Rows are independent, so slabbing cannot change a
+// single output bit.
+const batchSlabRows = 4096
+
+// growMat returns a rows x cols matrix view over buf, growing it as needed.
+// Contents are fully overwritten by the kernels, so no zeroing happens.
+func growMat(buf *[]float64, rows, cols int) *tensor.Matrix {
+	need := rows * cols
+	if cap(*buf) < need {
+		*buf = make([]float64, need)
+	}
+	return &tensor.Matrix{Rows: rows, Cols: cols, Data: (*buf)[:need]}
+}
+
+// reluRows applies ReLU to every row of m in parallel.
+func reluRows(m *tensor.Matrix, workers int) {
+	parallel.For(m.Rows, workers, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			tensor.ReLU(m.Row(r))
+		}
+	})
+}
+
+// logProbFromZ2F is logProbFromZ2 for a float-encoded configuration (the
+// flip super-batch stores inputs as the exact 0.0/1.0 floats the GEMM
+// consumed, so the branch decisions match the int version bit-for-bit).
+func logProbFromZ2F(xf []float64, z2 tensor.Vector) float64 {
+	var lp float64
+	for j, b := range xf {
+		if b == 1 {
+			lp += logSigmoid(z2[j])
+		} else {
+			lp += logSigmoid(-z2[j])
+		}
+	}
+	return lp
+}
+
+// madeBatchEvaluator is MADE's BatchEvaluator: it fuses the per-sample
+// masked matvecs of a whole batch into blocked GEMMs against the cached
+// masked weights (see MADE.maskedWeights), slab by slab. All values are
+// bitwise identical to the scalar paths; see the BatchEvaluator contract.
+type madeBatchEvaluator struct {
+	m       *MADE
+	workers int
+	// Slab workspaces, grown on demand and reused across calls.
+	bufXF, bufZ1, bufA, bufZ2 []float64
+	bufZB1, bufZB2            []float64
+	dz2, da                   []tensor.Vector // per-worker backward scratch
+}
+
+// NewBatchEvaluator implements BatchEvaluatorBuilder. workers bounds the
+// internal fan-out (<= 0 means GOMAXPROCS) and does not affect any output
+// value. The evaluator is not safe for concurrent use.
+func (m *MADE) NewBatchEvaluator(workers int) BatchEvaluator {
+	if workers <= 0 {
+		workers = parallel.MaxWorkers()
+	}
+	e := &madeBatchEvaluator{m: m, workers: workers,
+		dz2: make([]tensor.Vector, workers), da: make([]tensor.Vector, workers)}
+	for w := 0; w < workers; w++ {
+		e.dz2[w] = tensor.NewVector(m.n)
+		e.da[w] = tensor.NewVector(m.h)
+	}
+	return e
+}
+
+// toFloats converts configuration rows [lo, hi) of b into xf rows [0, ...).
+func (e *madeBatchEvaluator) toFloats(b ConfigBatch, lo, hi int, xf *tensor.Matrix) {
+	parallel.For(hi-lo, e.workers, func(rlo, rhi int) {
+		for r := rlo; r < rhi; r++ {
+			x := b.Row(lo + r)
+			row := xf.Row(r)
+			for i, bit := range x {
+				row[i] = float64(bit)
+			}
+		}
+	})
+}
+
+// forwardSlab runs the dense two-GEMM forward for rows [lo, hi) of b,
+// returning the xf/z1/a/z2 slab views (z1 is the pre-activation, a the
+// ReLU activation). The arithmetic per row is exactly MADE.Forward's.
+func (e *madeBatchEvaluator) forwardSlab(b ConfigBatch, lo, hi int, needPre bool) (xf, z1, a, z2 *tensor.Matrix) {
+	m := e.m
+	rows := hi - lo
+	wm1t, wm2t := m.maskedWeights()
+	xf = growMat(&e.bufXF, rows, m.n)
+	z1 = growMat(&e.bufZ1, rows, m.h)
+	z2 = growMat(&e.bufZ2, rows, m.n)
+	e.toFloats(b, lo, hi, xf)
+	tensor.MatMul(z1, xf, wm1t, e.workers)
+	tensor.AddRowBias(z1, m.B1, e.workers)
+	if needPre {
+		// The backward pass needs the activation alongside the ReLU gate,
+		// so materialize it (the scalar Forward's copy+ReLU); otherwise the
+		// fused MatMulReLU consumes the pre-activation directly.
+		a = growMat(&e.bufA, rows, m.h)
+		copy(a.Data, z1.Data)
+		reluRows(a, e.workers)
+	} else {
+		a = z1
+	}
+	tensor.MatMulReLU(z2, a, wm2t, e.workers)
+	tensor.AddRowBias(z2, m.B2, e.workers)
+	return xf, z1, a, z2
+}
+
+// LogPsiBatch implements BatchEvaluator; out[k] matches LogPsi(row k)
+// bitwise.
+func (e *madeBatchEvaluator) LogPsiBatch(b ConfigBatch, out []float64) {
+	m := e.m
+	if b.Sites != m.n {
+		panic("nn: LogPsiBatch sites mismatch")
+	}
+	if len(out) != b.N {
+		panic("nn: LogPsiBatch output length mismatch")
+	}
+	for lo := 0; lo < b.N; lo += batchSlabRows {
+		hi := lo + batchSlabRows
+		if hi > b.N {
+			hi = b.N
+		}
+		_, _, _, z2 := e.forwardSlab(b, lo, hi, false)
+		parallel.For(hi-lo, e.workers, func(rlo, rhi int) {
+			for r := rlo; r < rhi; r++ {
+				out[lo+r] = 0.5 * logProbFromZ2(b.Row(lo+r), z2.Row(r))
+			}
+		})
+	}
+}
+
+// GradLogPsiBatch implements BatchEvaluator: the forward runs as two
+// blocked GEMMs shared across the slab, then the analytic backward
+// (gradFromForward, the same code the scalar path runs) fills each ows row.
+func (e *madeBatchEvaluator) GradLogPsiBatch(b ConfigBatch, ows *tensor.Batch) {
+	m := e.m
+	if b.Sites != m.n {
+		panic("nn: GradLogPsiBatch sites mismatch")
+	}
+	if ows.N != b.N || ows.Dim != m.NumParams() {
+		panic("nn: GradLogPsiBatch ows shape mismatch")
+	}
+	for lo := 0; lo < b.N; lo += batchSlabRows {
+		hi := lo + batchSlabRows
+		if hi > b.N {
+			hi = b.N
+		}
+		_, z1, a, z2 := e.forwardSlab(b, lo, hi, true)
+		ranges := parallel.Partition(hi-lo, e.workers)
+		parallel.ForEach(len(ranges), e.workers, func(w int) {
+			dz2, da := e.dz2[w], e.da[w]
+			for r := ranges[w].Lo; r < ranges[w].Hi; r++ {
+				grad := ows.Sample(lo + r)
+				m.gradFromForward(b.Row(lo+r), z1.Row(r), a.Row(r), z2.Row(r), dz2, da, grad)
+				grad.Scale(0.5)
+			}
+		})
+	}
+}
+
+// FlipLogPsiBatch implements BatchEvaluator. Base rows reproduce the flip
+// cache's incremental site-order accumulation; the B x F flipped rows are
+// materialized as a super-batch and evaluated through the layer-1 GEMM
+// (Delta's fresh forward); one layer-2 GEMM pass covers both (split into a
+// base call and a flip call over the same cached masked weights).
+func (e *madeBatchEvaluator) FlipLogPsiBatch(b ConfigBatch, flips []int, base, flipLP []float64) {
+	m := e.m
+	nf := len(flips)
+	if b.Sites != m.n {
+		panic("nn: FlipLogPsiBatch sites mismatch")
+	}
+	if len(base) != b.N || len(flipLP) != b.N*nf {
+		panic("nn: FlipLogPsiBatch output length mismatch")
+	}
+	wm1t, wm2t := m.maskedWeights()
+	slab := batchSlabRows / (nf + 1)
+	if slab < 1 {
+		slab = 1
+	}
+	for lo := 0; lo < b.N; lo += slab {
+		hi := lo + slab
+		if hi > b.N {
+			hi = b.N
+		}
+		s := hi - lo
+		fr := s * nf
+		zb1 := growMat(&e.bufZB1, s, m.h)
+		zb2 := growMat(&e.bufZB2, s, m.n)
+		xf := growMat(&e.bufXF, fr, m.n)
+		// Build the incremental base z1 rows and the flip super-batch rows.
+		parallel.For(s, e.workers, func(slo, shi int) {
+			for si := slo; si < shi; si++ {
+				x := b.Row(lo + si)
+				z1row := zb1.Row(si)
+				copy(z1row, m.B1)
+				for i, bit := range x {
+					m.AccumulateInput(z1row, i, bit)
+				}
+				for f, bit := range flips {
+					row := xf.Row(si*nf + f)
+					for i, xb := range x {
+						row[i] = float64(xb)
+					}
+					row[bit] = float64(1 - x[bit])
+				}
+			}
+		})
+		// Base rows: output layer over ReLU(z1), as flip-cache refresh does
+		// (the ReLU is fused into the GEMM's skip condition).
+		tensor.MatMulReLU(zb2, zb1, wm2t, e.workers)
+		tensor.AddRowBias(zb2, m.B2, e.workers)
+		parallel.For(s, e.workers, func(slo, shi int) {
+			for si := slo; si < shi; si++ {
+				base[lo+si] = 0.5 * logProbFromZ2(b.Row(lo+si), zb2.Row(si))
+			}
+		})
+		if nf == 0 {
+			continue
+		}
+		// Flip rows: the full fresh forward as two GEMMs.
+		zf1 := growMat(&e.bufZ1, fr, m.h)
+		zf2 := growMat(&e.bufZ2, fr, m.n)
+		tensor.MatMul(zf1, xf, wm1t, e.workers)
+		tensor.AddRowBias(zf1, m.B1, e.workers)
+		tensor.MatMulReLU(zf2, zf1, wm2t, e.workers)
+		tensor.AddRowBias(zf2, m.B2, e.workers)
+		parallel.For(fr, e.workers, func(rlo, rhi int) {
+			for r := rlo; r < rhi; r++ {
+				flipLP[lo*nf+r] = 0.5 * logProbFromZ2F(xf.Row(r), zf2.Row(r))
+			}
+		})
+	}
+}
+
+// madeBatchAncestral advances all samples of a batch site-by-site, keeping
+// the whole B x h hidden state resident and touching weight column i of
+// every sample before moving to site i+1. The per-sample arithmetic is
+// exactly the incremental evaluator's (ConditionalRow + AccumulateInput),
+// so given the same uniforms the sampled bits are identical to scalar
+// ancestral sampling.
+type madeBatchAncestral struct {
+	m   *MADE
+	buf []float64
+}
+
+// NewBatchAncestralSampler implements BatchAncestralBuilder.
+func (m *MADE) NewBatchAncestralSampler() BatchAncestralSampler {
+	return &madeBatchAncestral{m: m}
+}
+
+// Sample implements BatchAncestralSampler.
+func (a *madeBatchAncestral) Sample(b ConfigBatch, u []float64, workers int) {
+	m := a.m
+	if b.Sites != m.n {
+		panic("nn: batched ancestral sites mismatch")
+	}
+	if len(u) < b.N*m.n {
+		panic("nn: batched ancestral uniforms too short")
+	}
+	z1 := growMat(&a.buf, b.N, m.h)
+	parallel.For(b.N, workers, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			copy(z1.Row(r), m.B1)
+		}
+	})
+	for i := 0; i < m.n; i++ {
+		parallel.For(b.N, workers, func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				row := z1.Row(r)
+				bit := 0
+				if u[r*m.n+i] < m.ConditionalRow(row, i) {
+					bit = 1
+				}
+				b.Bits[r*b.Sites+i] = bit
+				m.AccumulateInput(row, i, bit)
+			}
+		})
+	}
+}
+
+var (
+	_ BatchEvaluatorBuilder = (*MADE)(nil)
+	_ BatchAncestralBuilder = (*MADE)(nil)
+)

@@ -21,7 +21,14 @@ type Auto struct {
 	workers int
 	rngs    []*rng.Rand
 	evals   []nn.ConditionalEvaluator
-	cost    Cost
+	// Batched ancestral mode: when bsmp is non-nil, Sample pre-draws the
+	// whole batch's uniforms (in the same per-worker order the scalar loop
+	// consumes them) and advances all samples site-by-site through one
+	// fused pass per site. Bits are bitwise identical to the scalar
+	// incremental mode at the same worker count.
+	bsmp nn.BatchAncestralSampler
+	ubuf []float64
+	cost Cost
 }
 
 // NewAuto builds an exact sampler over a model with the given number of
@@ -52,12 +59,31 @@ func NewAutoMADE(m *nn.MADE, incremental bool, workers int, r *rng.Rand) *Auto {
 	return NewAuto(m.NumSites(), f, workers, r)
 }
 
+// NewAutoBatched builds the batched ancestral sampler: all samples advance
+// together site-by-site through the model's BatchAncestralSampler (one
+// fused pass over the B x h hidden state per site). The RNG streams, their
+// per-worker slab assignment and the drawn bits are bitwise identical to
+// the scalar incremental sampler built with the same workers and r — the
+// batched mode changes memory layout and loop order, never a sampled bit.
+func NewAutoBatched(sites int, builder nn.BatchAncestralBuilder, workers int, r *rng.Rand) *Auto {
+	if workers <= 0 {
+		workers = parallel.MaxWorkers()
+	}
+	a := &Auto{sites: sites, workers: workers, bsmp: builder.NewBatchAncestralSampler()}
+	a.rngs = r.SplitN(workers)
+	return a
+}
+
 // Sample implements Sampler. Worker w handles a contiguous slab of the
 // batch; the assignment depends only on (batch size, worker count), keeping
 // runs reproducible.
 func (a *Auto) Sample(b *Batch) {
 	if b.Sites != a.sites {
 		panic("sampler: batch sites mismatch")
+	}
+	if a.bsmp != nil {
+		a.sampleBatched(b)
+		return
 	}
 	ranges := parallel.Partition(b.N, a.workers)
 	var before int64
@@ -86,6 +112,29 @@ func (a *Auto) Sample(b *Batch) {
 		after += e.ForwardPasses()
 	}
 	a.cost.addPasses(after - before)
+	a.cost.addSteps(int64(b.N) * int64(a.sites))
+}
+
+// sampleBatched pre-draws every uniform the scalar loop would consume —
+// worker w drawing for its slab in (sample, site) order from its own
+// stream, exactly the scalar consumption order — then advances the whole
+// batch site-major through the model's fused per-site pass.
+func (a *Auto) sampleBatched(b *Batch) {
+	if need := b.N * a.sites; cap(a.ubuf) < need {
+		a.ubuf = make([]float64, need)
+	}
+	u := a.ubuf[:b.N*a.sites]
+	ranges := parallel.Partition(b.N, a.workers)
+	parallel.ForEach(len(ranges), a.workers, func(w int) {
+		rnd := a.rngs[w]
+		for s := ranges[w].Lo * a.sites; s < ranges[w].Hi*a.sites; s++ {
+			u[s] = rnd.Float64()
+		}
+	})
+	a.bsmp.Sample(nn.ConfigBatch{N: b.N, Sites: b.Sites, Bits: b.Bits}, u, a.workers)
+	// One full-network forward equivalent per completed sample, matching
+	// the incremental evaluator's accounting.
+	a.cost.addPasses(int64(b.N))
 	a.cost.addSteps(int64(b.N) * int64(a.sites))
 }
 

@@ -1,0 +1,184 @@
+// Blocked, worker-parallel matrix-product kernels for the batched
+// wavefunction evaluation path. The kernels block over rows and columns of
+// the destination ONLY — every output element is accumulated over the
+// contraction index k in the same fixed ascending order the scalar
+// matrix-vector kernels use — so the results are bitwise identical to the
+// per-sample path and invariant to the worker count and block sizes. That
+// exactness is what lets the batched trainer keep package dist's replica
+// bit-identity checks meaningful.
+package tensor
+
+import "github.com/vqmc-scale/parvqmc/internal/parallel"
+
+// Destination tile sizes for the blocked products. Blocking changes only
+// WHICH element is computed when, never the accumulation order within an
+// element, so the values do not depend on these constants.
+const (
+	mmRowBlock = 32
+	mmColBlock = 64
+)
+
+// accumRow computes drow += av * brow with the av == 1 multiplication
+// elided (1.0*x == x bitwise, and the batched layer-1 inputs are exact
+// 0/1 floats, so the common case saves the multiply). The 4-way unroll
+// only trims loop overhead: every element still receives exactly one
+// addition per call, so accumulation order is untouched.
+func accumRow(drow, brow []float64, av float64) {
+	n := len(brow)
+	drow = drow[:n]
+	j := 0
+	if av == 1 {
+		for ; j+4 <= n; j += 4 {
+			drow[j] += brow[j]
+			drow[j+1] += brow[j+1]
+			drow[j+2] += brow[j+2]
+			drow[j+3] += brow[j+3]
+		}
+		for ; j < n; j++ {
+			drow[j] += brow[j]
+		}
+		return
+	}
+	for ; j+4 <= n; j += 4 {
+		drow[j] += av * brow[j]
+		drow[j+1] += av * brow[j+1]
+		drow[j+2] += av * brow[j+2]
+		drow[j+3] += av * brow[j+3]
+	}
+	for ; j < n; j++ {
+		drow[j] += av * brow[j]
+	}
+}
+
+// MatMul computes dst = a*b (dst: M x N, a: M x K, b: K x N), blocked over
+// destination rows and parallelized across up to workers goroutines
+// (<= 0 means GOMAXPROCS). Each destination element is accumulated in
+// ascending k order, exactly like the serial Mul, so the output is bitwise
+// identical to Mul for finite inputs and independent of the worker count.
+// dst must not alias a or b.
+func MatMul(dst, a, b *Matrix, workers int) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("tensor: MatMul dimension mismatch")
+	}
+	nrb := (dst.Rows + mmRowBlock - 1) / mmRowBlock
+	parallel.For(nrb, workers, func(lo, hi int) {
+		for rb := lo; rb < hi; rb++ {
+			i0, i1 := rb*mmRowBlock, (rb+1)*mmRowBlock
+			if i1 > dst.Rows {
+				i1 = dst.Rows
+			}
+			for i := i0; i < i1; i++ {
+				arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+				drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+				for j := range drow {
+					drow[j] = 0
+				}
+				for k, av := range arow {
+					if av == 0 {
+						continue
+					}
+					accumRow(drow, b.Data[k*b.Cols:(k+1)*b.Cols], av)
+				}
+			}
+		}
+	})
+}
+
+// MatMulReLU computes dst = max(0, a)*b without materializing the
+// activated copy of a: non-positive a elements contribute relu(av) = +0
+// terms, whose additions are exact no-ops (an accumulator that starts at
+// +0 and only ever adds finite values can never become -0, and x + (+/-0)
+// == x otherwise), so skipping them is bitwise identical to applying ReLU
+// and then MatMul. This is the fused hidden-activation + output-layer
+// kernel of the batched wavefunction forward. dst must not alias a or b.
+func MatMulReLU(dst, a, b *Matrix, workers int) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("tensor: MatMulReLU dimension mismatch")
+	}
+	nrb := (dst.Rows + mmRowBlock - 1) / mmRowBlock
+	parallel.For(nrb, workers, func(lo, hi int) {
+		for rb := lo; rb < hi; rb++ {
+			i0, i1 := rb*mmRowBlock, (rb+1)*mmRowBlock
+			if i1 > dst.Rows {
+				i1 = dst.Rows
+			}
+			for i := i0; i < i1; i++ {
+				arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+				drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+				for j := range drow {
+					drow[j] = 0
+				}
+				for k, av := range arow {
+					if av <= 0 {
+						continue
+					}
+					accumRow(drow, b.Data[k*b.Cols:(k+1)*b.Cols], av)
+				}
+			}
+		}
+	})
+}
+
+// MatMulT computes dst = a*b^T (dst: M x N, a: M x K, b: N x K) without
+// materializing the transpose: element (i, j) is the dot product of row i
+// of a with row j of b, accumulated in ascending k order — the identical
+// floating-point sequence MulVec and MaskedMulVec produce for one sample.
+// It is the untransposed-operand form of the batched contract for callers
+// that hold weights in their natural row-major layout; the MADE hot path
+// instead pre-transposes its masked-weight cache and drives MatMul/
+// MatMulReLU, whose per-column accumulators pipeline better than this
+// kernel's single dot-product chain. Work is blocked over destination
+// row/column tiles so the b tile stays cache-resident while a streams
+// through, and parallelized over row blocks across up to workers
+// goroutines (<= 0 means GOMAXPROCS). dst must not alias a or b.
+func MatMulT(dst, a, b *Matrix, workers int) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic("tensor: MatMulT dimension mismatch")
+	}
+	k := a.Cols
+	nrb := (dst.Rows + mmRowBlock - 1) / mmRowBlock
+	parallel.For(nrb, workers, func(lo, hi int) {
+		for rb := lo; rb < hi; rb++ {
+			i0, i1 := rb*mmRowBlock, (rb+1)*mmRowBlock
+			if i1 > dst.Rows {
+				i1 = dst.Rows
+			}
+			for j0 := 0; j0 < dst.Cols; j0 += mmColBlock {
+				j1 := j0 + mmColBlock
+				if j1 > dst.Cols {
+					j1 = dst.Cols
+				}
+				for i := i0; i < i1; i++ {
+					arow := a.Data[i*k : (i+1)*k]
+					drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+					for j := j0; j < j1; j++ {
+						brow := b.Data[j*k : (j+1)*k]
+						var s float64
+						for l, av := range arow {
+							s += av * brow[l]
+						}
+						drow[j] = s
+					}
+				}
+			}
+		}
+	})
+}
+
+// AddRowBias adds bias to every row of m (bias length m.Cols), parallelized
+// over rows. Each element sees exactly one addition, performed after the
+// row's products are fully accumulated — the same "dot first, bias second"
+// order the scalar forward uses (MaskedMulVec followed by Vector.Add).
+func AddRowBias(m *Matrix, bias Vector, workers int) {
+	if len(bias) != m.Cols {
+		panic("tensor: AddRowBias length mismatch")
+	}
+	parallel.For(m.Rows, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.Data[i*m.Cols : (i+1)*m.Cols]
+			for j, bv := range bias {
+				row[j] += bv
+			}
+		}
+	})
+}

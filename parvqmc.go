@@ -126,9 +126,10 @@ type Options struct {
 	// Hidden overrides the latent size (default: 5(ln n)^2 for MADE, n for
 	// RBM).
 	Hidden int
-	// Sampler selects "auto" (incremental exact sampling, default for
-	// MADE), "auto-naive" (Algorithm 1: n forward passes per sample), or
-	// "mcmc" (default for RBM).
+	// Sampler selects "auto" (exact ancestral sampling, default for MADE;
+	// batched site-major when BatchedEval is on, incremental otherwise —
+	// same bits either way), "auto-naive" (Algorithm 1: n forward passes
+	// per sample), or "mcmc" (default for RBM).
 	Sampler string
 	// Optimizer is "adam" (default, lr 0.01) or "sgd" (lr 0.1).
 	Optimizer string
@@ -144,6 +145,14 @@ type Options struct {
 	// every per-iteration collective is non-blocking and hidden behind the
 	// recurrence updates; serially it is the identical algorithm).
 	SRSolver string
+	// BatchedEval selects the evaluation path. nil or true (the default)
+	// fuses sampling, local-energy and gradient evaluation into blocked
+	// matrix products over the batch dimension whenever the model supports
+	// it (MADE); false forces the per-sample scalar path, kept reachable
+	// for A/B timing (the `batched` experiment, -batched-eval=false). The
+	// two paths are bitwise identical — same energies, same gradients,
+	// same sampled bits — so the knob never changes a result.
+	BatchedEval *bool
 	// BatchSize is samples per iteration (default 1024).
 	BatchSize int
 	// Iterations is the number of training steps (default 300).
@@ -238,6 +247,17 @@ func (o *Options) fill(n int) error {
 	return nil
 }
 
+// batchedOn resolves the BatchedEval knob (nil means on).
+func (o *Options) batchedOn() bool { return o.BatchedEval == nil || *o.BatchedEval }
+
+// evalMode maps the knob onto the trainer's evaluation mode.
+func (o *Options) evalMode() core.EvalMode {
+	if o.batchedOn() {
+		return core.EvalAuto
+	}
+	return core.EvalScalar
+}
+
 // IterationStat is one recorded training iteration.
 type IterationStat struct {
 	Iteration int
@@ -305,6 +325,7 @@ func Train(p *Problem, o Options) (*Result, error) {
 		return nil, err
 	}
 	r := rng.New(o.Seed)
+	batched := o.batchedOn()
 
 	var model core.Model
 	var smp sampler.Sampler
@@ -315,7 +336,13 @@ func Train(p *Problem, o Options) (*Result, error) {
 		model = m
 		switch o.Sampler {
 		case "auto":
-			smp = sampler.NewAutoMADE(m, true, o.Workers, r.Split())
+			// The batched ancestral mode draws bit-identical samples from
+			// the same streams; it only changes the loop order.
+			if batched {
+				smp = sampler.NewAutoBatched(n, m, o.Workers, r.Split())
+			} else {
+				smp = sampler.NewAutoMADE(m, true, o.Workers, r.Split())
+			}
 		case "auto-naive":
 			smp = sampler.NewAutoMADE(m, false, o.Workers, r.Split())
 		case "mcmc":
@@ -357,7 +384,7 @@ func Train(p *Problem, o Options) (*Result, error) {
 
 	opt, sr := o.buildOptimizer()
 	tr := core.New(p.ham, model, smp, opt, core.Config{
-		BatchSize: o.BatchSize, Workers: o.Workers, SR: sr})
+		BatchSize: o.BatchSize, Workers: o.Workers, SR: sr, Eval: o.evalMode()})
 
 	start := time.Now()
 	curve := tr.Train(o.Iterations, nil)
@@ -419,12 +446,19 @@ func TrainDistributed(p *Problem, o Options, devices, miniBatch int) (*Result, e
 	for rdev := 0; rdev < devices; rdev++ {
 		m := nn.NewMADE(n, o.Hidden, rng.New(o.Seed+12345)) // identical init
 		opt, sr := o.buildOptimizer()
+		var smp sampler.Sampler
+		if o.batchedOn() {
+			smp = sampler.NewAutoBatched(n, m, 1, streams[rdev])
+		} else {
+			smp = sampler.NewAutoMADE(m, true, 1, streams[rdev])
+		}
 		reps[rdev] = dist.Replica{
 			Model:   m,
-			Smp:     sampler.NewAutoMADE(m, true, 1, streams[rdev]),
+			Smp:     smp,
 			Opt:     opt,
 			SR:      sr,
 			Workers: workers,
+			Eval:    o.evalMode(),
 		}
 	}
 	tr, err := dist.New(p.ham, reps, miniBatch)
