@@ -1,11 +1,18 @@
 // Command vqmcbench times the scalar (per-sample) evaluation path against
 // the batched GEMM path and writes the results as JSON, giving the repo a
-// recorded perf trajectory across PRs (BENCH_pr4.json). The two paths are
-// bitwise identical, so every comparison is pure throughput.
+// recorded perf trajectory across PRs (BENCH_pr4.json, BENCH_pr5.json).
+// The two paths are bitwise identical, so every comparison is pure
+// throughput.
 //
-//	vqmcbench -out BENCH_pr4.json                  # acceptance point, n=32 h=64 B=1024
+//	vqmcbench -out BENCH_pr5.json                  # acceptance point, n=32 h=64 B=1024
 //	vqmcbench -quick -out /tmp/smoke.json          # CI smoke (seconds)
+//	vqmcbench -model rbm -quick                    # RBM batched-path smoke
 //	vqmcbench -workers 1,4,8                       # worker sweep
+//
+// For MADE the report also carries the tail-only acceptance ratio: the
+// "LocalEnergiesTailVsPR4" row times the full-recompute flip reference
+// (the PR 4 batched convention, bitwise the same values) against the
+// mask-aware tail-only path.
 package main
 
 import (
@@ -28,9 +35,10 @@ import (
 	"github.com/vqmc-scale/parvqmc/internal/tensor"
 )
 
-// Result is one scalar-vs-batched comparison.
+// Result is one scalar-vs-batched (or reference-vs-tail) comparison.
 type Result struct {
 	Name      string  `json:"name"`
+	Model     string  `json:"model"`
 	N         int     `json:"n"`
 	Hidden    int     `json:"hidden"`
 	Batch     int     `json:"batch"`
@@ -68,17 +76,23 @@ func main() {
 	log.SetPrefix("vqmcbench: ")
 	var (
 		n       = flag.Int("n", 32, "TIM sites")
-		hsz     = flag.Int("hidden", 64, "MADE hidden width")
+		hsz     = flag.Int("hidden", 64, "hidden width")
 		batch   = flag.Int("batch", 1024, "batch size")
+		model   = flag.String("model", "made", "wavefunction families to time: made, rbm or all")
 		workers = flag.String("workers", "", "comma-separated worker counts (default: 1 and GOMAXPROCS)")
 		minMS   = flag.Int("min-ms", 2000, "minimum measurement time per case, milliseconds")
 		quick   = flag.Bool("quick", false, "CI smoke: tiny sizes, one short measurement per case")
-		out     = flag.String("out", "BENCH_pr4.json", "output JSON path")
+		out     = flag.String("out", "BENCH_pr5.json", "output JSON path")
 	)
 	flag.Parse()
 
 	if *quick {
 		*n, *hsz, *batch, *minMS = 10, 12, 64, 1
+	}
+	runMADE := *model == "made" || *model == "all"
+	runRBM := *model == "rbm" || *model == "all"
+	if !runMADE && !runRBM {
+		log.Fatalf("unknown -model %q (want made, rbm or all)", *model)
 	}
 	wlist := []int{1}
 	if p := runtime.GOMAXPROCS(0); p > 1 {
@@ -97,69 +111,30 @@ func main() {
 	minDur := time.Duration(*minMS) * time.Millisecond
 
 	rep := Report{
-		PR:         "pr4-batched-gemm-eval",
+		PR:         "pr5-tail-only-flip-rbm-batched",
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		GoVersion:  runtime.Version(),
 		Note: "scalar vs batched ns per call; paths are bitwise identical. " +
-			"LocalEnergies/FillOws are per batch, AutoSample per batch, TrainStep per iteration.",
+			"LocalEnergies/FillOws are per batch, AutoSample per batch, TrainStep per iteration. " +
+			"LocalEnergiesTailVsPR4 times the full-recompute flip reference (PR 4 batched " +
+			"convention) against the mask-aware tail-only super-batch.",
+	}
+
+	emit := func(r Result) {
+		rep.Results = append(rep.Results, r)
+		fmt.Printf("%-24s %-4s n=%d h=%d B=%d w=%d: %8.2fms vs %8.2fms (%.2fx)\n",
+			r.Name, r.Model, r.N, r.Hidden, r.Batch, r.Workers,
+			r.ScalarNS/1e6, r.BatchedNS/1e6, r.Speedup)
 	}
 
 	for _, w := range wlist {
-		r := rng.New(1)
-		tim := hamiltonian.RandomTIM(*n, r)
-		m := nn.NewMADE(*n, *hsz, r.Split())
-		b := sampler.NewBatch(*batch, *n)
-		r.FillBits(b.Bits)
-		out1 := make([]float64, *batch)
-		bev := core.NewBatchedEval(m, core.EvalAuto, w)
-
-		sNS := timeIt(minDur, func() { core.LocalEnergies(tim, m, b, w, out1) })
-		bNS := timeIt(minDur, func() { bev.LocalEnergies(tim, b, w, out1) })
-		rep.Results = append(rep.Results, Result{Name: "LocalEnergies", N: *n, Hidden: *hsz,
-			Batch: *batch, Workers: w, ScalarNS: sNS, BatchedNS: bNS, Speedup: sNS / bNS})
-		fmt.Printf("LocalEnergies  n=%d h=%d B=%d w=%d: scalar %.2fms batched %.2fms (%.2fx)\n",
-			*n, *hsz, *batch, w, sNS/1e6, bNS/1e6, sNS/bNS)
-
-		ows := tensor.NewBatch(*batch, m.NumParams())
-		evals := make([]nn.GradEvaluator, w)
-		for i := range evals {
-			evals[i] = m.NewGradEvaluator()
+		if runMADE {
+			benchMADE(emit, *n, *hsz, *batch, w, minDur)
 		}
-		sNS = timeIt(minDur, func() { core.FillOws(evals, b, ows, w) })
-		bNS = timeIt(minDur, func() { bev.FillOws(b, ows) })
-		rep.Results = append(rep.Results, Result{Name: "FillOws", N: *n, Hidden: *hsz,
-			Batch: *batch, Workers: w, ScalarNS: sNS, BatchedNS: bNS, Speedup: sNS / bNS})
-		fmt.Printf("FillOws        n=%d h=%d B=%d w=%d: scalar %.2fms batched %.2fms (%.2fx)\n",
-			*n, *hsz, *batch, w, sNS/1e6, bNS/1e6, sNS/bNS)
-
-		sSmp := sampler.NewAutoMADE(m, true, w, rng.New(7))
-		bSmp := sampler.NewAutoBatched(*n, m, w, rng.New(7))
-		sNS = timeIt(minDur, func() { sSmp.Sample(b) })
-		bNS = timeIt(minDur, func() { bSmp.Sample(b) })
-		rep.Results = append(rep.Results, Result{Name: "AutoSample", N: *n, Hidden: *hsz,
-			Batch: *batch, Workers: w, ScalarNS: sNS, BatchedNS: bNS, Speedup: sNS / bNS})
-		fmt.Printf("AutoSample     n=%d h=%d B=%d w=%d: scalar %.2fms batched %.2fms (%.2fx)\n",
-			*n, *hsz, *batch, w, sNS/1e6, bNS/1e6, sNS/bNS)
-
-		mkTrainer := func(mode core.EvalMode) *core.Trainer {
-			mm := nn.NewMADE(*n, *hsz, rng.New(9))
-			var smp sampler.Sampler
-			if mode == core.EvalScalar {
-				smp = sampler.NewAutoMADE(mm, true, w, rng.New(10))
-			} else {
-				smp = sampler.NewAutoBatched(*n, mm, w, rng.New(10))
-			}
-			return core.New(tim, mm, smp, optimizer.NewAdam(0.01),
-				core.Config{BatchSize: *batch, Workers: w, Eval: mode})
+		if runRBM {
+			benchRBM(emit, *n, *hsz, *batch, w, minDur)
 		}
-		trS, trB := mkTrainer(core.EvalScalar), mkTrainer(core.EvalAuto)
-		sNS = timeIt(minDur, func() { trS.Step() })
-		bNS = timeIt(minDur, func() { trB.Step() })
-		rep.Results = append(rep.Results, Result{Name: "TrainStep", N: *n, Hidden: *hsz,
-			Batch: *batch, Workers: w, ScalarNS: sNS, BatchedNS: bNS, Speedup: sNS / bNS})
-		fmt.Printf("TrainStep      n=%d h=%d B=%d w=%d: scalar %.2fms batched %.2fms (%.2fx)\n",
-			*n, *hsz, *batch, w, sNS/1e6, bNS/1e6, sNS/bNS)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -171,4 +146,99 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// benchMADE times the MADE scalar-vs-batched phases plus the tail-only
+// acceptance ratio against the full-recompute flip reference.
+func benchMADE(emit func(Result), n, hsz, batch, w int, minDur time.Duration) {
+	r := rng.New(1)
+	tim := hamiltonian.RandomTIM(n, r)
+	m := nn.NewMADE(n, hsz, r.Split())
+	b := sampler.NewBatch(batch, n)
+	r.FillBits(b.Bits)
+	out1 := make([]float64, batch)
+	bev := core.NewBatchedEval(m, core.EvalAuto, w)
+	full := core.NewBatchedEvalWith(m.NewFullFlipBatchEvaluator(w))
+
+	sNS := timeIt(minDur, func() { core.LocalEnergies(tim, m, b, w, out1) })
+	bNS := timeIt(minDur, func() { bev.LocalEnergies(tim, b, w, out1) })
+	emit(Result{Name: "LocalEnergies", Model: "made", N: n, Hidden: hsz,
+		Batch: batch, Workers: w, ScalarNS: sNS, BatchedNS: bNS, Speedup: sNS / bNS})
+
+	fNS := timeIt(minDur, func() { full.LocalEnergies(tim, b, w, out1) })
+	emit(Result{Name: "LocalEnergiesTailVsPR4", Model: "made", N: n, Hidden: hsz,
+		Batch: batch, Workers: w, ScalarNS: fNS, BatchedNS: bNS, Speedup: fNS / bNS})
+
+	ows := tensor.NewBatch(batch, m.NumParams())
+	evals := make([]nn.GradEvaluator, w)
+	for i := range evals {
+		evals[i] = m.NewGradEvaluator()
+	}
+	sNS = timeIt(minDur, func() { core.FillOws(evals, b, ows, w) })
+	bNS = timeIt(minDur, func() { bev.FillOws(b, ows) })
+	emit(Result{Name: "FillOws", Model: "made", N: n, Hidden: hsz,
+		Batch: batch, Workers: w, ScalarNS: sNS, BatchedNS: bNS, Speedup: sNS / bNS})
+
+	sSmp := sampler.NewAutoMADE(m, true, w, rng.New(7))
+	bSmp := sampler.NewAutoBatched(n, m, w, rng.New(7))
+	sNS = timeIt(minDur, func() { sSmp.Sample(b) })
+	bNS = timeIt(minDur, func() { bSmp.Sample(b) })
+	emit(Result{Name: "AutoSample", Model: "made", N: n, Hidden: hsz,
+		Batch: batch, Workers: w, ScalarNS: sNS, BatchedNS: bNS, Speedup: sNS / bNS})
+
+	mkTrainer := func(mode core.EvalMode) *core.Trainer {
+		mm := nn.NewMADE(n, hsz, rng.New(9))
+		var smp sampler.Sampler
+		if mode == core.EvalScalar {
+			smp = sampler.NewAutoMADE(mm, true, w, rng.New(10))
+		} else {
+			smp = sampler.NewAutoBatched(n, mm, w, rng.New(10))
+		}
+		return core.New(tim, mm, smp, optimizer.NewAdam(0.01),
+			core.Config{BatchSize: batch, Workers: w, Eval: mode})
+	}
+	trS, trB := mkTrainer(core.EvalScalar), mkTrainer(core.EvalAuto)
+	sNS = timeIt(minDur, func() { trS.Step() })
+	bNS = timeIt(minDur, func() { trB.Step() })
+	emit(Result{Name: "TrainStep", Model: "made", N: n, Hidden: hsz,
+		Batch: batch, Workers: w, ScalarNS: sNS, BatchedNS: bNS, Speedup: sNS / bNS})
+}
+
+// benchRBM times the RBM scalar-vs-batched phases on the MCMC pipeline
+// (the theta/bias GEMM win of the BatchEvaluator contract extension).
+func benchRBM(emit func(Result), n, hsz, batch, w int, minDur time.Duration) {
+	r := rng.New(21)
+	tim := hamiltonian.RandomTIM(n, r)
+	m := nn.NewRBM(n, hsz, r.Split())
+	b := sampler.NewBatch(batch, n)
+	r.FillBits(b.Bits)
+	out1 := make([]float64, batch)
+	bev := core.NewBatchedEval(m, core.EvalAuto, w)
+
+	sNS := timeIt(minDur, func() { core.LocalEnergies(tim, m, b, w, out1) })
+	bNS := timeIt(minDur, func() { bev.LocalEnergies(tim, b, w, out1) })
+	emit(Result{Name: "LocalEnergies", Model: "rbm", N: n, Hidden: hsz,
+		Batch: batch, Workers: w, ScalarNS: sNS, BatchedNS: bNS, Speedup: sNS / bNS})
+
+	ows := tensor.NewBatch(batch, m.NumParams())
+	evals := make([]nn.GradEvaluator, w)
+	for i := range evals {
+		evals[i] = m.NewGradEvaluator()
+	}
+	sNS = timeIt(minDur, func() { core.FillOws(evals, b, ows, w) })
+	bNS = timeIt(minDur, func() { bev.FillOws(b, ows) })
+	emit(Result{Name: "FillOws", Model: "rbm", N: n, Hidden: hsz,
+		Batch: batch, Workers: w, ScalarNS: sNS, BatchedNS: bNS, Speedup: sNS / bNS})
+
+	mkTrainer := func(mode core.EvalMode) *core.Trainer {
+		mm := nn.NewRBM(n, hsz, rng.New(23))
+		smp := sampler.NewMCMC(mm, sampler.MCMCConfig{}, rng.New(24))
+		return core.New(tim, mm, smp, optimizer.NewAdam(0.01),
+			core.Config{BatchSize: batch, Workers: w, Eval: mode})
+	}
+	trS, trB := mkTrainer(core.EvalScalar), mkTrainer(core.EvalAuto)
+	sNS = timeIt(minDur, func() { trS.Step() })
+	bNS = timeIt(minDur, func() { trB.Step() })
+	emit(Result{Name: "TrainStep", Model: "rbm", N: n, Hidden: hsz,
+		Batch: batch, Workers: w, ScalarNS: sNS, BatchedNS: bNS, Speedup: sNS / bNS})
 }

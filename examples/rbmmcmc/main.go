@@ -1,0 +1,67 @@
+// RBM + MCMC with batched evaluation: train the Carleo–Troyer RBM
+// wavefunction on a 12-site transverse-field Ising chain, sampling with
+// Metropolis-Hastings, and let the batched evaluator fuse the local-energy
+// and gradient phases into blocked theta = S·Wᵀ GEMMs over the batch.
+//
+// The batched path (Options.BatchedEval, on by default) is bitwise
+// identical to the per-sample path — the demo proves it by training the
+// same seed both ways and comparing energies exactly — so switching it on
+// is pure throughput.
+//
+//	go run ./examples/rbmmcmc
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/vqmc-scale/parvqmc"
+)
+
+func main() {
+	const n = 12
+
+	problem := parvqmc.TIM(n, 3)
+	fmt.Printf("TIM instance with %d sites, RBM wavefunction, MCMC sampling\n", n)
+
+	run := func(batched bool) *parvqmc.Result {
+		res, err := parvqmc.Train(problem, parvqmc.Options{
+			Model:        "rbm",
+			Sampler:      "mcmc",
+			Hidden:       24,
+			BatchSize:    256,
+			Iterations:   400,
+			EvalBatch:    512,
+			Seed:         11,
+			LearningRate: 0.003,
+			BatchedEval:  &batched,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	batched := run(true)
+	scalar := run(false)
+
+	fmt.Printf("batched eval: E = %.6f +- %.6f  (%v)\n",
+		batched.Energy, batched.Std, batched.TrainTime.Round(1e6))
+	fmt.Printf("scalar  eval: E = %.6f +- %.6f  (%v)\n",
+		scalar.Energy, scalar.Std, scalar.TrainTime.Round(1e6))
+	if batched.Energy == scalar.Energy && batched.Std == scalar.Std {
+		fmt.Println("paths are bitwise identical: the batched evaluator is a pure throughput knob")
+	} else {
+		log.Fatal("paths diverged — the BatchEvaluator contract is broken")
+	}
+
+	exact, err := problem.ExactGroundEnergy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The residual gap is a property of the RBM&MCMC pipeline itself, not
+	// of the evaluation path — the paper's comparison finds MADE with exact
+	// sampling (examples/quickstart) converges much tighter on TIM.
+	fmt.Printf("exact energy: %.6f  (relative gap %.3f%%; see examples/quickstart for MADE&AUTO)\n",
+		exact, 100*(batched.Energy-exact)/(-exact))
+}

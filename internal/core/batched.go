@@ -34,10 +34,10 @@ func configs(b *sampler.Batch) nn.ConfigBatch {
 // identical to the scalar LocalEnergies/FillOws paths (see the
 // nn.BatchEvaluator contract); it is a pure throughput knob.
 type BatchedEval struct {
-	be         nn.BatchEvaluator
-	bits       []int
-	amps       []float64
-	base, flip []float64
+	be   nn.BatchEvaluator
+	bits []int
+	amps []float64
+	flip []float64
 }
 
 // NewBatchedEval returns a batched evaluation wrapper for the model, or nil
@@ -53,6 +53,13 @@ func NewBatchedEval(model nn.Wavefunction, mode EvalMode, workers int) *BatchedE
 		return nil
 	}
 	return &BatchedEval{be: bb.NewBatchEvaluator(workers)}
+}
+
+// NewBatchedEvalWith wraps an explicitly constructed nn.BatchEvaluator —
+// the entry point benchmarks use to drive reference evaluators (e.g.
+// MADE's full-flip PR 4 baseline) through the same energy reduction.
+func NewBatchedEvalWith(be nn.BatchEvaluator) *BatchedEval {
+	return &BatchedEval{be: be}
 }
 
 // Evaluator exposes the underlying nn.BatchEvaluator (benchmarks and the
@@ -83,20 +90,22 @@ func (e *BatchedEval) LocalEnergies(h hamiltonian.Hamiltonian, b *sampler.Batch,
 	for f, ft := range flips {
 		bits[f], amps[f] = ft.Bit, ft.Amp
 	}
-	if cap(e.base) < b.N {
-		e.base = make([]float64, b.N)
-	}
 	if cap(e.flip) < b.N*nf {
 		e.flip = make([]float64, b.N*nf)
 	}
-	base, flip := e.base[:b.N], e.flip[:b.N*nf]
-	e.be.FlipLogPsiBatch(configs(b), bits, base, flip)
+	delta := e.flip[:b.N*nf]
+	// nil base: the energy reduction exponentiates the deltas directly, so
+	// the evaluator may skip base-only work (the RBM's ln-cosh fold).
+	e.be.FlipLogPsiBatch(configs(b), bits, nil, delta)
 	parallel.For(b.N, workers, func(lo, hi int) {
 		for k := lo; k < hi; k++ {
 			l := h.Diagonal(b.Row(k))
-			row := flip[k*nf : (k+1)*nf]
+			row := delta[k*nf : (k+1)*nf]
 			for f := range row {
-				l += amps[f] * math.Exp(row[f]-base[k])
+				// The evaluator emits the flip DELTAS under the model's own
+				// FlipCache convention, so exponentiating them reproduces the
+				// scalar loop's exp(cache.Delta(bit)) bit for bit.
+				l += amps[f] * math.Exp(row[f])
 			}
 			out[k] = l
 		}

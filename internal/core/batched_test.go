@@ -120,6 +120,61 @@ func TestTrainerBatchedTrajectoryBitIdentical(t *testing.T) {
 	}
 }
 
+// buildRBMTrainer assembles an RBM trainer on the MCMC (or Gibbs) pipeline
+// in the given eval mode. The sampler is scalar in both modes (MCMC chains
+// are inherently sequential); the batched path fuses the local-energy and
+// gradient evaluation that follows it.
+func buildRBMTrainer(gibbs bool, workers int, mode EvalMode, useSR bool) *Trainer {
+	tim := hamiltonian.RandomTIM(6, rng.New(171))
+	m := nn.NewRBM(6, 8, rng.New(172))
+	var smp sampler.Sampler
+	if gibbs {
+		smp = sampler.NewGibbs(m, sampler.MCMCConfig{Chains: 2, BurnIn: 5}, rng.New(173))
+	} else {
+		smp = sampler.NewMCMC(m, sampler.MCMCConfig{Chains: 2, BurnIn: 30}, rng.New(173))
+	}
+	cfg := Config{BatchSize: 48, Workers: workers, Eval: mode}
+	var opt optimizer.Optimizer = optimizer.NewAdam(0.02)
+	if useSR {
+		opt = optimizer.NewSGD(0.1)
+		cfg.SR = optimizer.NewSR(1e-3)
+	}
+	return New(tim, m, smp, opt, cfg)
+}
+
+// TestRBMTrainerBatchedTrajectoryBitIdentical: with the RBM now satisfying
+// the BatchEvaluator contract, 40 full MCMC- and Gibbs-pipeline training
+// steps through the batched evaluator must leave EXACTLY the parameters and
+// statistics of the scalar path — the delta-based flip contract is what
+// makes exp(delta) interchangeable between the paths for an incremental
+// (non-fresh-forward) flip cache.
+func TestRBMTrainerBatchedTrajectoryBitIdentical(t *testing.T) {
+	for _, gibbs := range []bool{false, true} {
+		for _, useSR := range []bool{false, true} {
+			scalar := buildRBMTrainer(gibbs, 2, EvalScalar, useSR)
+			batched := buildRBMTrainer(gibbs, 2, EvalAuto, useSR)
+			if batched.bev == nil {
+				t.Fatal("RBM trainer did not engage the batched evaluator")
+			}
+			hs := scalar.Train(40, nil)
+			hb := batched.Train(40, nil)
+			for i := range hs {
+				if hs[i] != hb[i] {
+					t.Fatalf("gibbs=%v sr=%v iter %d: scalar %+v != batched %+v",
+						gibbs, useSR, i, hs[i], hb[i])
+				}
+			}
+			ps, pb := scalar.Model.Params(), batched.Model.Params()
+			for i := range ps {
+				if ps[i] != pb[i] {
+					t.Fatalf("gibbs=%v sr=%v: param %d scalar %v != batched %v",
+						gibbs, useSR, i, ps[i], pb[i])
+				}
+			}
+		}
+	}
+}
+
 // TestGradientWorkerInvariance pins the fixed-block reduction: the
 // gradient of one step on a frozen batch must be bitwise identical across
 // worker counts, on the scalar streaming, scalar materialized (SR) and
@@ -169,7 +224,7 @@ func TestGradientWorkerInvariance(t *testing.T) {
 
 // --- the headline perf benchmarks (ISSUE 4 acceptance working point) ---
 
-func benchLocalEnergies(b *testing.B, batched bool, workers int) {
+func benchLocalEnergies(b *testing.B, mode string, workers int) {
 	b.Helper()
 	const n, hsz, bs = 32, 64, 1024
 	r := rng.New(1)
@@ -179,12 +234,15 @@ func benchLocalEnergies(b *testing.B, batched bool, workers int) {
 	r.FillBits(batch.Bits)
 	out := make([]float64, bs)
 	var bev *BatchedEval
-	if batched {
+	switch mode {
+	case "batched":
 		bev = NewBatchedEval(m, EvalAuto, workers)
+	case "fullflip":
+		bev = NewBatchedEvalWith(m.NewFullFlipBatchEvaluator(workers))
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if batched {
+		if bev != nil {
 			bev.LocalEnergies(tim, batch, workers, out)
 		} else {
 			LocalEnergies(tim, m, batch, workers, out)
@@ -194,9 +252,13 @@ func benchLocalEnergies(b *testing.B, batched bool, workers int) {
 
 // BenchmarkLocalEnergiesScalar and BenchmarkLocalEnergiesBatched compare
 // the per-sample FlipCache path against the fused flip-super-batch GEMM
-// path at the acceptance working point (TIM n=32, h=64, B=1024).
-func BenchmarkLocalEnergiesScalar(b *testing.B)  { benchLocalEnergies(b, false, 0) }
-func BenchmarkLocalEnergiesBatched(b *testing.B) { benchLocalEnergies(b, true, 0) }
+// path at the acceptance working point (TIM n=32, h=64, B=1024);
+// BenchmarkLocalEnergiesBatchedFullFlip drives the full-recompute reference
+// evaluator — the PR 4 batched baseline the tail-only acceptance ratio is
+// measured against.
+func BenchmarkLocalEnergiesScalar(b *testing.B)          { benchLocalEnergies(b, "scalar", 0) }
+func BenchmarkLocalEnergiesBatched(b *testing.B)         { benchLocalEnergies(b, "batched", 0) }
+func BenchmarkLocalEnergiesBatchedFullFlip(b *testing.B) { benchLocalEnergies(b, "fullflip", 0) }
 
 func benchFillOws(b *testing.B, batched bool) {
 	b.Helper()

@@ -83,6 +83,58 @@ func TestDistBatchedTrajectoryBitIdentical(t *testing.T) {
 	}
 }
 
+// TestDistRBMBatchedTrajectoryBitIdentical: the RBM BatchEvaluator rides
+// the distributed trainer unchanged — L MCMC-sampling RBM replicas trained
+// through the batched evaluator must leave exactly the scalar stack's
+// parameters, with replica consistency intact (the two-level replica x
+// worker scheme never sees which path produced the local energies).
+func TestDistRBMBatchedTrajectoryBitIdentical(t *testing.T) {
+	const (
+		n, h, L, mb = 6, 8, 2, 8
+		steps       = 30
+	)
+	build := func(mode core.EvalMode) *Trainer {
+		tim := hamiltonian.RandomTIM(n, rng.New(181))
+		streams := rng.New(182).SplitN(L)
+		reps := make([]Replica, L)
+		for r := 0; r < L; r++ {
+			m := nn.NewRBM(n, h, rng.New(183))
+			smp := sampler.NewMCMC(m, sampler.MCMCConfig{Chains: 2, BurnIn: 20}, streams[r])
+			reps[r] = Replica{Model: m, Smp: smp, Opt: optimizer.NewSGD(0.1),
+				SR: optimizer.NewSR(1e-3), Workers: 2, Eval: mode}
+		}
+		tr, err := New(tim, reps, mb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	scalar := build(core.EvalScalar)
+	batched := build(core.EvalAuto)
+	if batched.state[0].bev == nil {
+		t.Fatal("RBM replicas did not engage the batched evaluator")
+	}
+	hs := scalar.Train(steps, nil)
+	hb := batched.Train(steps, nil)
+	for i := range hs {
+		if hs[i] != hb[i] {
+			t.Fatalf("iter %d: scalar %+v != batched %+v", i, hs[i], hb[i])
+		}
+	}
+	for r := 0; r < L; r++ {
+		ps := scalar.Reps[r].Model.Params()
+		pb := batched.Reps[r].Model.Params()
+		for i := range ps {
+			if ps[i] != pb[i] {
+				t.Fatalf("replica %d param %d: scalar %v != batched %v", r, i, ps[i], pb[i])
+			}
+		}
+	}
+	if err := batched.CheckConsistent(); err != nil {
+		t.Fatalf("batched RBM replicas diverged: %v", err)
+	}
+}
+
 // TestDistMixedEvalModesStayConsistent: because the batched path is
 // bitwise identical to the scalar one, replicas may MIX evaluation modes
 // (like they may mix worker counts) and still remain bit-identical to each

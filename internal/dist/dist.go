@@ -64,12 +64,23 @@ import (
 	"github.com/vqmc-scale/parvqmc/internal/tensor"
 )
 
+// Model is the wavefunction contract a replica needs: amplitudes,
+// per-worker gradient evaluators, and flip caches for local energies. Both
+// neural families satisfy it (MADE and RBM), and either may ride the
+// batched evaluation path when it additionally implements
+// nn.BatchEvaluatorBuilder.
+type Model interface {
+	nn.Wavefunction
+	nn.CacheBuilder
+	nn.GradEvaluatorBuilder
+}
+
 // Replica is one data-parallel device: a full copy of the model, a sampler
 // drawing from that copy with its own rng stream, and a private optimizer
 // instance. All replicas must be constructed with identical initial
 // parameters (same init seed); New verifies this.
 type Replica struct {
-	Model *nn.MADE
+	Model Model
 	Smp   sampler.Sampler
 	Opt   optimizer.Optimizer
 	// SR optionally preconditions the gradient with distributed stochastic

@@ -97,7 +97,7 @@ func tightSR() *optimizer.SR {
 	return sr
 }
 
-func maxParamDiff(a, b *nn.MADE) float64 {
+func maxParamDiff(a, b nn.Wavefunction) float64 {
 	pa, pb := a.Params(), b.Params()
 	var m float64
 	for i := range pa {

@@ -23,16 +23,25 @@ func (b ConfigBatch) Row(i int) []int { return b.Bits[i*b.Sites : (i+1)*b.Sites]
 // Bitwise-equivalence guarantee: every method produces EXACTLY the bytes
 // the corresponding scalar path produces — LogPsiBatch matches per-row
 // LogPsi, GradLogPsiBatch matches per-row GradLogPsi, and FlipLogPsiBatch
-// matches the model's FlipCache (base log-psi as Reset computes it, flipped
-// log-psi as Delta's fresh forward computes it) — and is invariant to the
-// worker count the evaluator was built with. Implementations achieve this
-// by accumulating every fused product in the same fixed contraction order
-// as the scalar kernels (see tensor.MatMul and tensor.MatMulReLU, which
-// MADE drives against pre-transposed masked weights; tensor.MatMulT is
-// the same contract for untransposed operands). The guarantee is
-// load-bearing:
+// matches the model's FlipCache (base log-psi as Reset computes it, deltas
+// as Delta computes them) — and is invariant to the worker count the
+// evaluator was built with. Implementations achieve this by accumulating
+// every fused product in the same fixed contraction order as the scalar
+// kernels (see tensor.MatMul and tensor.MatMulReLU, which MADE drives
+// against pre-transposed masked weights; tensor.MatMulT is the same
+// contract for untransposed operands) and by sharing the per-row reduction
+// code with the scalar path verbatim. The guarantee is load-bearing:
 // package dist checks replica consistency with exact ==, and the batched
 // and scalar paths must remain interchangeable underneath it.
+//
+// Tail-only invariant (MADE): the flip super-batch is evaluated under the
+// mask-aware tail-only convention of MADE.NewFlipCache — for a flip of bit
+// b only output sites j >= b are re-evaluated (column-range GEMMs over the
+// tail), with the head of the log-probability fold resumed from the base
+// row's prefix sums — and the resulting flipped log-psi values are bitwise
+// identical to a fresh LogPsi of each flipped configuration. Halving
+// layer-2 work and the log-sigmoid tail is therefore invisible in the
+// values: scalar FlipCache.Delta and the batched delta agree with exact ==.
 //
 // Implementations own growable scratch and are NOT safe for concurrent
 // use; they parallelize internally across the workers they were built with.
@@ -45,11 +54,20 @@ type BatchEvaluator interface {
 	GradLogPsiBatch(b ConfigBatch, ows *tensor.Batch)
 	// FlipLogPsiBatch evaluates the B x (F+1) flip super-batch: base[k]
 	// receives log|psi(row k)| computed exactly as the model's FlipCache
-	// base (for MADE: the incremental site-order hidden accumulation), and
-	// flipLogPsi[k*len(flips)+f] receives log|psi| of row k with bit
-	// flips[f] flipped, computed exactly as FlipCache.Delta's fresh
-	// forward. len(base) must be b.N and len(flipLogPsi) b.N*len(flips).
-	FlipLogPsiBatch(b ConfigBatch, flips []int, base, flipLogPsi []float64)
+	// base (the fresh forward convention), and delta[k*len(flips)+f]
+	// receives log|psi(row k with bit flips[f] flipped)| - base[k],
+	// computed exactly as FlipCache.Delta computes it (for MADE: the
+	// tail-only fresh flipped log-psi minus the base; for RBM: the O(h)
+	// incremental ln-cosh delta). Returning deltas rather than absolute
+	// flipped amplitudes is what keeps core.LocalEnergies bitwise
+	// interchangeable between the scalar and batched paths for EVERY model
+	// family — the scalar loop exponentiates Delta directly, and
+	// subtracting a batched absolute from a batched base would re-round.
+	// base may be nil when the caller needs only the deltas (the
+	// local-energy hot path) — implementations then skip any base-only
+	// work their convention allows (the RBM's per-row ln-cosh fold).
+	// Otherwise len(base) must be b.N; len(delta) must be b.N*len(flips).
+	FlipLogPsiBatch(b ConfigBatch, flips []int, base, delta []float64)
 }
 
 // BatchEvaluatorBuilder is implemented by wavefunctions that provide a

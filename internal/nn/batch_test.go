@@ -1,7 +1,6 @@
 package nn
 
 import (
-	"math"
 	"testing"
 
 	"github.com/vqmc-scale/parvqmc/internal/rng"
@@ -76,8 +75,9 @@ func TestGradLogPsiBatchBitIdentical(t *testing.T) {
 }
 
 // TestFlipLogPsiBatchBitIdentical: base values must match the flip cache's
-// base LogPsi and flip values must match base + Delta, exactly — the
-// property core.LocalEnergies' batched dispatch relies on.
+// base LogPsi (and, under the fresh-forward convention, a fresh LogPsi) and
+// delta values must match FlipCache.Delta, exactly — the property
+// core.LocalEnergies' batched dispatch relies on.
 func TestFlipLogPsiBatchBitIdentical(t *testing.T) {
 	for _, n := range siteCounts {
 		m := NewMADE(n, 4+n, rng.New(uint64(300+n)))
@@ -91,9 +91,10 @@ func TestFlipLogPsiBatchBitIdentical(t *testing.T) {
 			for _, bs := range batchSizes {
 				b := randomConfigs(bs, n, rng.New(uint64(17*bs+n)))
 				base := make([]float64, bs)
-				flipLP := make([]float64, bs*n)
-				e.FlipLogPsiBatch(b, flips, base, flipLP)
+				delta := make([]float64, bs*n)
+				e.FlipLogPsiBatch(b, flips, base, delta)
 				cache := m.NewFlipCache(b.Row(0))
+				s := m.NewScratch()
 				for k := 0; k < bs; k++ {
 					if k > 0 {
 						cache.Reset(b.Row(k))
@@ -102,12 +103,91 @@ func TestFlipLogPsiBatchBitIdentical(t *testing.T) {
 						t.Fatalf("n=%d w=%d B=%d row %d: batched base %v != cache %v",
 							n, workers, bs, k, base[k], cache.LogPsi())
 					}
+					if want := m.LogPsiScratch(b.Row(k), s); base[k] != want {
+						t.Fatalf("n=%d w=%d B=%d row %d: batched base %v != fresh LogPsi %v",
+							n, workers, bs, k, base[k], want)
+					}
 					for f, bit := range flips {
-						want := cache.LogPsi() + cache.Delta(bit)
-						if flipLP[k*n+f] != want {
-							t.Fatalf("n=%d w=%d B=%d row %d flip %d: batched %v != cache %v",
-								n, workers, bs, k, bit, flipLP[k*n+f], want)
+						if want := cache.Delta(bit); delta[k*n+f] != want {
+							t.Fatalf("n=%d w=%d B=%d row %d flip %d: batched delta %v != cache %v",
+								n, workers, bs, k, bit, delta[k*n+f], want)
 						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFlipLogPsiBatchMatchesFullRecompute: the tail-only super-batch and
+// the full-recompute reference evaluator must agree byte for byte on every
+// base and delta — the differential proof that skipping output sites j < b
+// is invisible in the values.
+func TestFlipLogPsiBatchMatchesFullRecompute(t *testing.T) {
+	for _, n := range siteCounts {
+		m := NewMADE(n, 4+n, rng.New(uint64(350+n)))
+		flips := make([]int, n)
+		for i := range flips {
+			flips[i] = i
+		}
+		tail := m.NewBatchEvaluator(2)
+		full := m.NewFullFlipBatchEvaluator(3)
+		for _, bs := range batchSizes {
+			b := randomConfigs(bs, n, rng.New(uint64(23*bs+n)))
+			baseT := make([]float64, bs)
+			baseF := make([]float64, bs)
+			deltaT := make([]float64, bs*n)
+			deltaF := make([]float64, bs*n)
+			tail.FlipLogPsiBatch(b, flips, baseT, deltaT)
+			full.FlipLogPsiBatch(b, flips, baseF, deltaF)
+			for k := range baseT {
+				if baseT[k] != baseF[k] {
+					t.Fatalf("n=%d B=%d row %d: tail base %v != full base %v", n, bs, k, baseT[k], baseF[k])
+				}
+			}
+			for i := range deltaT {
+				if deltaT[i] != deltaF[i] {
+					t.Fatalf("n=%d B=%d delta %d: tail %v != full %v", n, bs, i, deltaT[i], deltaF[i])
+				}
+			}
+		}
+	}
+}
+
+// TestFlipLogPsiBatchRandomSites pins the tail-only flip path against
+// fresh LogPsi for RANDOM flip-site subsets (not just the all-bits TIM
+// pattern) across the full B x n acceptance grid: for every row and flip,
+// base + delta must reproduce exactly the values the scalar tail-only
+// cache derives from a fresh forward of the flipped configuration.
+func TestFlipLogPsiBatchRandomSites(t *testing.T) {
+	r := rng.New(41)
+	for _, n := range siteCounts {
+		m := NewMADE(n, 6+n, r.Split())
+		e := m.NewBatchEvaluator(3)
+		s := m.NewScratch()
+		y := make([]int, n)
+		for _, bs := range batchSizes {
+			nf := 1 + r.Intn(n)
+			flips := make([]int, nf)
+			for f := range flips {
+				flips[f] = r.Intn(n)
+			}
+			b := randomConfigs(bs, n, r.Split())
+			base := make([]float64, bs)
+			delta := make([]float64, bs*nf)
+			e.FlipLogPsiBatch(b, flips, base, delta)
+			for k := 0; k < bs; k++ {
+				baseWant := m.LogPsiScratch(b.Row(k), s)
+				if base[k] != baseWant {
+					t.Fatalf("n=%d B=%d row %d: base %v != fresh %v", n, bs, k, base[k], baseWant)
+				}
+				for f, bit := range flips {
+					copy(y, b.Row(k))
+					y[bit] = 1 - y[bit]
+					want := m.LogPsiScratch(y, s) - baseWant
+					if delta[k*nf+f] != want {
+						t.Fatalf("n=%d B=%d row %d flip site %d: delta %v != fresh %v",
+							n, bs, k, bit, delta[k*nf+f], want)
 					}
 				}
 			}
@@ -192,31 +272,33 @@ func TestMaskedWeightCacheInvalidation(t *testing.T) {
 	InvalidateParams(m)
 }
 
-// TestFlipCacheIncrementalRegression pins the incremental flip cache
-// against fresh LogPsi calls: after arbitrary interleavings of Flip, Delta
-// and Reset the cached base log psi and every delta must agree with a full
-// recomputation to near machine precision (the incremental z1 reorders
-// sums, so exact == is not expected here — the batched path instead
-// matches the cache itself exactly).
-func TestFlipCacheIncrementalRegression(t *testing.T) {
+// TestTailFlipCacheExactRegression pins the tail-only flip cache against
+// fresh LogPsi calls with exact ==: after arbitrary interleavings of Flip,
+// Delta and Reset the cached base log psi, the absolute flipped log psi
+// (FlipLogPsi) and every delta must agree bitwise with a full
+// recomputation — the tentpole invariant that evaluating only output sites
+// j >= b changes nothing but the work done.
+func TestTailFlipCacheExactRegression(t *testing.T) {
 	r := rng.New(9)
 	for _, n := range []int{1, 2, 7, 19} {
 		m := NewMADE(n, 5+n, r.Split())
 		x := make([]int, n)
 		r.FillBits(x)
-		c := m.NewFlipCache(x)
+		c := m.NewFlipCache(x).(TailFlipCache)
 		y := make([]int, n)
 		for trial := 0; trial < 200; trial++ {
-			if math.Abs(c.LogPsi()-m.LogPsi(c.State())) > 1e-12 {
-				t.Fatalf("n=%d trial %d: cache logPsi %v, fresh %v",
+			if c.LogPsi() != m.LogPsi(c.State()) {
+				t.Fatalf("n=%d trial %d: cache logPsi %v != fresh %v",
 					n, trial, c.LogPsi(), m.LogPsi(c.State()))
 			}
 			bit := r.Intn(n)
 			copy(y, c.State())
 			y[bit] = 1 - y[bit]
-			want := m.LogPsi(y) - m.LogPsi(c.State())
-			if got := c.Delta(bit); math.Abs(got-want) > 1e-12 {
-				t.Fatalf("n=%d trial %d: Delta(%d) = %v, fresh %v", n, trial, bit, got, want)
+			if got, want := c.FlipLogPsi(bit), m.LogPsi(y); got != want {
+				t.Fatalf("n=%d trial %d: FlipLogPsi(%d) = %v != fresh %v", n, trial, bit, got, want)
+			}
+			if got, want := c.Delta(bit), m.LogPsi(y)-c.LogPsi(); got != want {
+				t.Fatalf("n=%d trial %d: Delta(%d) = %v != fresh difference %v", n, trial, bit, got, want)
 			}
 			switch trial % 3 {
 			case 0:

@@ -33,6 +33,20 @@ type MADE struct {
 	M2 *tensor.Matrix // n x h: M2[j][k] = 1 iff j+1 > deg(k)
 	// deg[k] in 1..n-1 is the hidden unit's autoregressive degree.
 	deg []int
+	// flipRuns[b] lists the maximal contiguous ranges [lo, hi) of hidden
+	// units whose mask sees input bit b (deg(k) > b) — the only hidden
+	// columns a flip of bit b can change, and therefore the only layer-1
+	// columns the tail-only flip evaluation recomputes (scalar and batched
+	// alike; with the cyclic degree assignment each period of n-1 units
+	// contributes one run).
+	flipRuns [][][2]int
+	// runsAscending records that every flipRuns[b] range starts at degree
+	// b+1 and increments by one per unit (true for the cyclic assignment).
+	// When set, input i's mask support inside a run of flipRuns[b] is the
+	// suffix starting at run[0]+(i-b), letting the batched tail fold skip
+	// the masked-zero (+/-0, exact no-op) additions; when not, the folds
+	// fall back to full-width adds, which are bitwise identical.
+	runsAscending bool
 	// Masked-weight cache for the batched GEMM path: wm1t/wm2t hold the
 	// TRANSPOSED elementwise products (W1.M1)^T (n x h) and (W2.M2)^T
 	// (h x n), materialized once per parameter version and reused by every
@@ -95,6 +109,30 @@ func NewMADE(n, h int, r *rng.Rand) *MADE {
 		for j := 0; j < n; j++ {
 			if j+1 > m.deg[k] && m.deg[k] > 0 {
 				m.M2.Set(j, k, 1)
+			}
+		}
+	}
+
+	m.flipRuns = make([][][2]int, n)
+	m.runsAscending = true
+	for b := 0; b < n; b++ {
+		for k := 0; k < h; k++ {
+			if m.deg[k] <= b {
+				continue
+			}
+			runs := m.flipRuns[b]
+			if len(runs) > 0 && runs[len(runs)-1][1] == k {
+				runs[len(runs)-1][1] = k + 1
+			} else {
+				runs = append(runs, [2]int{k, k + 1})
+			}
+			m.flipRuns[b] = runs
+		}
+		for _, run := range m.flipRuns[b] {
+			for k := run[0]; k < run[1]; k++ {
+				if m.deg[k] != b+1+(k-run[0]) {
+					m.runsAscending = false
+				}
 			}
 		}
 	}
@@ -258,19 +296,6 @@ func (m *MADE) AccumulateInput(z1 tensor.Vector, i, bit int) {
 	}
 }
 
-// RemoveInput subtracts bit i's contribution from the hidden pre-activation
-// vector z1, the inverse of AccumulateInput (incremental flip fast path).
-func (m *MADE) RemoveInput(z1 tensor.Vector, i, bit int) {
-	if bit == 0 {
-		return
-	}
-	for k := 0; k < m.h; k++ {
-		if m.M1.At(k, i) != 0 {
-			z1[k] -= m.W1.At(k, i)
-		}
-	}
-}
-
 // GradLogProbScratch accumulates d log pi / d theta into grad (overwritten).
 func (m *MADE) GradLogProbScratch(x []int, grad tensor.Vector, s *MADEScratch) {
 	m.Forward(x, s)
@@ -358,69 +383,182 @@ func (m *MADE) GradLogPsiScratch(x []int, grad tensor.Vector, s *MADEScratch) {
 	grad.Scale(0.5)
 }
 
-// NewFlipCache implements CacheBuilder with an incremental cache: the base
-// configuration's hidden pre-activation z1 is maintained through
-// AccumulateInput/RemoveInput, so Reset costs one set-bit accumulation plus
-// one output-layer pass and Flip costs O(h) for the hidden update plus the
-// O(hn) output layer — no full layer-1 recompute. Delta still evaluates the
-// flipped configuration with a fresh full forward (it must not disturb the
-// cached state), in contrast to the RBM's O(h) delta; this asymmetry is why
-// the paper pairs MADE with exact sampling rather than MCMC. The batched
-// FlipLogPsiBatch path reproduces both conventions bit-for-bit.
+// freshHiddenUnit recomputes hidden pre-activation k of the fresh forward
+// pass for the float-encoded configuration xf: the masked row dot in
+// ascending input order followed by the bias, exactly the per-element
+// arithmetic of MaskedMulVec + Vector.Add in Forward. Used by the tail-only
+// flip evaluation to refresh only the hidden units whose mask sees the
+// flipped bit.
+func (m *MADE) freshHiddenUnit(k int, xf tensor.Vector) float64 {
+	row := m.W1.Row(k)
+	mrow := m.M1.Row(k)
+	var s float64
+	for i, w := range row {
+		s += w * mrow[i] * xf[i]
+	}
+	return s + m.B1[k]
+}
+
+// freshOutputUnit recomputes output pre-activation j of the fresh forward
+// pass from hidden activations a, mirroring Forward's layer-2 MaskedMulVec
+// + bias element for element.
+func (m *MADE) freshOutputUnit(j int, a tensor.Vector) float64 {
+	row := m.W2.Row(j)
+	mrow := m.M2.Row(j)
+	var s float64
+	for k, w := range row {
+		s += w * mrow[k] * a[k]
+	}
+	return s + m.B2[j]
+}
+
+// NewFlipCache implements CacheBuilder with the mask-aware TAIL-ONLY cache.
+//
+// Flip-cache convention (load-bearing; the batched FlipLogPsiBatch path
+// reproduces it bit for bit): the cache holds the base configuration's
+// FRESH forward state — z1/a/z2 exactly as Forward computes them — plus the
+// prefix sums p[j] of the log-probability fold, p[j] = sum of the first j
+// log-sigmoid terms accumulated in the ascending site order logProbFromZ2
+// uses. LogPsi() is therefore bitwise identical to a fresh LogPsi(x).
+//
+// The autoregressive masks guarantee that flipping bit b leaves every
+// hidden unit with deg(k) <= b and every output site j < b bitwise
+// untouched (output j only sees inputs i < j through hidden units of
+// degree <= j). Delta and Flip exploit that: they recompute only the
+// hidden units whose mask row contains bit b, only the output sites
+// j > b (site b's pre-activation is unchanged; only its term re-branches
+// on the flipped bit), and resume the log-probability fold from p[b] —
+// halving layer-2 work and the log-sigmoid tail on average while staying
+// bitwise identical to a fresh forward pass of the flipped configuration.
+// The cache also implements TailFlipCache: FlipLogPsi(b) returns that
+// absolute flipped log-psi, and Delta(b) = FlipLogPsi(b) - LogPsi().
 func (m *MADE) NewFlipCache(x []int) FlipCache {
 	c := &madeFlipCache{m: m, s: m.NewScratch(), x: make([]int, m.n),
-		z1: tensor.NewVector(m.h)}
+		p:  tensor.NewVector(m.n + 1),
+		za: tensor.NewVector(m.h), xff: tensor.NewVector(m.n)}
 	c.Reset(x)
 	return c
 }
 
 type madeFlipCache struct {
-	m      *MADE
-	s      *MADEScratch
-	x      []int
-	z1     tensor.Vector // incremental hidden pre-activation of x
+	m *MADE
+	s *MADEScratch // s.Z1, s.A, s.Z2 hold the base FRESH forward state
+	x []int
+	// p[j] is the log-probability fold after the first j sites, in
+	// logProbFromZ2's exact accumulation order; p[n] = log pi(x).
+	p      tensor.Vector
+	za     tensor.Vector // scratch: flipped hidden activations (Delta only)
+	xff    tensor.Vector // scratch: float-encoded flipped configuration
 	logPsi float64
-}
-
-// refresh recomputes the output layer and log psi from the cached z1,
-// using the same "dot in k order, then bias" convention as Forward so the
-// batched path's layer-2 GEMM reproduces it exactly.
-func (c *madeFlipCache) refresh() {
-	copy(c.s.A, c.z1)
-	tensor.ReLU(c.s.A)
-	c.m.W2.MaskedMulVec(c.s.Z2, c.s.A, c.m.M2)
-	c.s.Z2.Add(c.m.B2)
-	c.logPsi = 0.5 * logProbFromZ2(c.x, c.s.Z2)
 }
 
 func (c *madeFlipCache) LogPsi() float64 { return c.logPsi }
 
-func (c *madeFlipCache) Delta(bit int) float64 {
-	copy(c.s.flipBuf, c.x)
-	c.s.flipBuf[bit] = 1 - c.s.flipBuf[bit]
-	return c.m.LogPsiScratch(c.s.flipBuf, c.s) - c.logPsi
+// tailLogProb computes log pi of the base configuration with bit flipped,
+// evaluating only the tail: hidden units seeing the bit are refreshed from
+// a fresh masked dot, output sites j > bit are refreshed from the mixed
+// activations, and the fold resumes from the cached prefix p[bit]. The
+// result is bitwise identical to a fresh Forward + logProbFromZ2 of the
+// flipped configuration. za receives the flipped activations (length h).
+func (c *madeFlipCache) tailLogProb(bit int, za tensor.Vector) float64 {
+	m := c.m
+	nb := 1 - c.x[bit]
+	copy(c.xff, c.s.xf)
+	c.xff[bit] = float64(nb)
+	copy(za, c.s.A)
+	for k := 0; k < m.h; k++ {
+		if m.M1.At(k, bit) != 0 {
+			z := m.freshHiddenUnit(k, c.xff)
+			if z < 0 {
+				z = 0
+			}
+			za[k] = z
+		}
+	}
+	lp := c.p[bit]
+	// Site bit: pre-activation unchanged by the mask, term re-branches on
+	// the flipped value.
+	if nb == 1 {
+		lp += logSigmoid(c.s.Z2[bit])
+	} else {
+		lp += logSigmoid(-c.s.Z2[bit])
+	}
+	for j := bit + 1; j < m.n; j++ {
+		z := m.freshOutputUnit(j, za)
+		if c.x[j] == 1 {
+			lp += logSigmoid(z)
+		} else {
+			lp += logSigmoid(-z)
+		}
+	}
+	return lp
 }
 
+// FlipLogPsi implements TailFlipCache: the absolute log psi of the current
+// configuration with bit flipped, bitwise identical to a fresh LogPsi.
+func (c *madeFlipCache) FlipLogPsi(bit int) float64 {
+	return 0.5 * c.tailLogProb(bit, c.za)
+}
+
+func (c *madeFlipCache) Delta(bit int) float64 {
+	return c.FlipLogPsi(bit) - c.logPsi
+}
+
+// Flip commits bit, updating only the tail of the cached fresh-forward
+// state: hidden units seeing the bit, output sites j > bit, and the prefix
+// sums from p[bit+1] on. Everything it leaves in place is bitwise what a
+// full Reset would recompute.
 func (c *madeFlipCache) Flip(bit int) {
-	if c.x[bit] == 1 {
-		c.m.RemoveInput(c.z1, bit, 1)
-		c.x[bit] = 0
-	} else {
-		c.m.AccumulateInput(c.z1, bit, 1)
-		c.x[bit] = 1
+	m := c.m
+	nb := 1 - c.x[bit]
+	c.x[bit] = nb
+	c.s.xf[bit] = float64(nb)
+	for k := 0; k < m.h; k++ {
+		if m.M1.At(k, bit) != 0 {
+			z := m.freshHiddenUnit(k, c.s.xf)
+			c.s.Z1[k] = z
+			if z < 0 {
+				z = 0
+			}
+			c.s.A[k] = z
+		}
 	}
-	c.refresh()
+	lp := c.p[bit]
+	if nb == 1 {
+		lp += logSigmoid(c.s.Z2[bit])
+	} else {
+		lp += logSigmoid(-c.s.Z2[bit])
+	}
+	c.p[bit+1] = lp
+	for j := bit + 1; j < m.n; j++ {
+		z := m.freshOutputUnit(j, c.s.A)
+		c.s.Z2[j] = z
+		if c.x[j] == 1 {
+			lp += logSigmoid(z)
+		} else {
+			lp += logSigmoid(-z)
+		}
+		c.p[j+1] = lp
+	}
+	c.logPsi = 0.5 * lp
 }
 
 func (c *madeFlipCache) State() []int { return c.x }
 
 func (c *madeFlipCache) Reset(x []int) {
 	copy(c.x, x)
-	copy(c.z1, c.m.B1)
-	for i, b := range c.x {
-		c.m.AccumulateInput(c.z1, i, b)
+	c.m.Forward(c.x, c.s)
+	var lp float64
+	c.p[0] = 0
+	for j, b := range c.x {
+		if b == 1 {
+			lp += logSigmoid(c.s.Z2[j])
+		} else {
+			lp += logSigmoid(-c.s.Z2[j])
+		}
+		c.p[j+1] = lp
 	}
-	c.refresh()
+	c.logPsi = 0.5 * lp
 }
 
 // NewGradEvaluator implements GradEvaluatorBuilder.
@@ -447,4 +585,5 @@ func (m *MADE) Degrees() []int { return m.deg }
 var (
 	_ Autoregressive = (*MADE)(nil)
 	_ CacheBuilder   = (*MADE)(nil)
+	_ TailFlipCache  = (*madeFlipCache)(nil)
 )

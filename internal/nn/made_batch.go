@@ -53,9 +53,21 @@ func logProbFromZ2F(xf []float64, z2 tensor.Vector) float64 {
 type madeBatchEvaluator struct {
 	m       *MADE
 	workers int
-	// Slab workspaces, grown on demand and reused across calls.
+	// fullFlip disables the tail-only flip evaluation and recomputes every
+	// flip row with full GEMMs and a full log-probability fold — the PR 4
+	// reference path. Outputs are bitwise identical to the tail-only path
+	// (the tail-only fold is an exact suffix of the full fold), so it
+	// serves as the differential-test oracle and the A/B perf baseline.
+	fullFlip bool
+	// Slab workspaces, grown on demand and reused across calls: bufXF/Z1/A/
+	// Z2 back the dense forward, bufZB1/ZB2 the flip super-batch layers,
+	// bufP the per-row log-probability prefix sums, bufXB the base float
+	// configurations of a flip slab, and bufPre the per-site layer-1
+	// prefix snapshots the tail-only flip rows resume from.
 	bufXF, bufZ1, bufA, bufZ2 []float64
-	bufZB1, bufZB2            []float64
+	bufZB1, bufZB2, bufP      []float64
+	bufXB, bufPre, bufPre2    []float64
+	bufBase                   []float64
 	dz2, da                   []tensor.Vector // per-worker backward scratch
 }
 
@@ -72,6 +84,19 @@ func (m *MADE) NewBatchEvaluator(workers int) BatchEvaluator {
 		e.dz2[w] = tensor.NewVector(m.n)
 		e.da[w] = tensor.NewVector(m.h)
 	}
+	return e
+}
+
+// NewFullFlipBatchEvaluator returns a BatchEvaluator whose FlipLogPsiBatch
+// recomputes every flip row in full (two dense GEMMs over all output sites
+// plus a full log-sigmoid fold) instead of the mask-aware tail. It produces
+// bitwise the same outputs as NewBatchEvaluator — the tail-only path is
+// provably an exact suffix of the full fold — and exists as the
+// differential-testing oracle and the pre-tail-only (PR 4) performance
+// baseline for cmd/vqmcbench.
+func (m *MADE) NewFullFlipBatchEvaluator(workers int) BatchEvaluator {
+	e := m.NewBatchEvaluator(workers).(*madeBatchEvaluator)
+	e.fullFlip = true
 	return e
 }
 
@@ -169,21 +194,53 @@ func (e *madeBatchEvaluator) GradLogPsiBatch(b ConfigBatch, ows *tensor.Batch) {
 	}
 }
 
-// FlipLogPsiBatch implements BatchEvaluator. Base rows reproduce the flip
-// cache's incremental site-order accumulation; the B x F flipped rows are
-// materialized as a super-batch and evaluated through the layer-1 GEMM
-// (Delta's fresh forward); one layer-2 GEMM pass covers both (split into a
-// base call and a flip call over the same cached masked weights).
-func (e *madeBatchEvaluator) FlipLogPsiBatch(b ConfigBatch, flips []int, base, flipLP []float64) {
+// FlipLogPsiBatch implements BatchEvaluator under the tail-only flip
+// convention. Base rows run the fresh two-GEMM forward (the flip cache's
+// base convention) and record the per-site prefix sums of the
+// log-probability fold. Flip rows are laid out group-major (all B rows of
+// flip f contiguous) so each group shares one column range: layer 1 is
+// seeded by copying the base pre-activations and recomputing only the
+// hidden-unit runs whose mask sees the flipped bit (MADE.flipRuns), layer 2
+// runs a column-range GEMM over output sites j > b only, and the fold
+// resumes from the base prefix p[b] — on average halving layer-2 and
+// log-sigmoid work while producing flipped log-psi values bitwise identical
+// to a fresh LogPsi. The emitted deltas subtract the base exactly as the
+// scalar FlipCache.Delta does.
+func (e *madeBatchEvaluator) FlipLogPsiBatch(b ConfigBatch, flips []int, base, delta []float64) {
 	m := e.m
 	nf := len(flips)
 	if b.Sites != m.n {
 		panic("nn: FlipLogPsiBatch sites mismatch")
 	}
-	if len(base) != b.N || len(flipLP) != b.N*nf {
+	if (base != nil && len(base) != b.N) || len(delta) != b.N*nf {
 		panic("nn: FlipLogPsiBatch output length mismatch")
 	}
+	if base == nil {
+		// MADE's deltas subtract the base log-psi, and the prefix fold
+		// computes it as a byproduct — stage it in a reusable buffer.
+		if cap(e.bufBase) < b.N {
+			e.bufBase = make([]float64, b.N)
+		}
+		base = e.bufBase[:b.N]
+	}
 	wm1t, wm2t := m.maskedWeights()
+	// Layer-2 prefix snapshots are taken at the first hidden unit each
+	// flip bit can change (the start of its first flipRuns range): every
+	// unit before it is bitwise untouched by that flip, so the flip row's
+	// layer-2 fold can resume from the base fold there.
+	maxK0 := -1
+	needSnap := make([]bool, m.h)
+	needPre := make([]bool, m.n)
+	for _, bit := range flips {
+		if runs := m.flipRuns[bit]; len(runs) > 0 {
+			needPre[bit] = true
+			k0 := runs[0][0]
+			needSnap[k0] = true
+			if k0 > maxK0 {
+				maxK0 = k0
+			}
+		}
+	}
 	slab := batchSlabRows / (nf + 1)
 	if slab < 1 {
 		slab = 1
@@ -194,50 +251,285 @@ func (e *madeBatchEvaluator) FlipLogPsiBatch(b ConfigBatch, flips []int, base, f
 			hi = b.N
 		}
 		s := hi - lo
-		fr := s * nf
-		zb1 := growMat(&e.bufZB1, s, m.h)
-		zb2 := growMat(&e.bufZB2, s, m.n)
-		xf := growMat(&e.bufXF, fr, m.n)
-		// Build the incremental base z1 rows and the flip super-batch rows.
+		// Fresh base forward. The tail-only path runs layer 1 as an
+		// explicit ascending-site fold so it can snapshot, for every site
+		// i, the partial sums over inputs < i (pre rows [i*s, (i+1)*s)):
+		// a flip of bit i resumes each element's accumulation chain from
+		// that snapshot, which is bitwise the same chain MatMul runs. The
+		// fold adds wm1t row i to every sample with bit i set — exactly
+		// MatMul's ascending-k skip-zero / multiply-elided accumulation.
+		xfb := growMat(&e.bufXB, s, m.n)
+		e.toFloats(b, lo, hi, xfb)
+		zb1 := growMat(&e.bufZ1, s, m.h)
+		var pre *tensor.Matrix
+		if e.fullFlip || nf == 0 {
+			tensor.MatMul(zb1, xfb, wm1t, e.workers)
+		} else {
+			pre = growMat(&e.bufPre, m.n*s, m.h)
+			parallel.For(s, e.workers, func(slo, shi int) {
+				for si := slo; si < shi; si++ {
+					row := zb1.Row(si)
+					for k := range row {
+						row[k] = 0
+					}
+				}
+			})
+			for i := 0; i < m.n; i++ {
+				if needPre[i] {
+					// Only sites actually flipped (with a non-empty run)
+					// are ever resumed from; skip the other bands' copies.
+					copy(pre.Data[i*s*m.h:(i+1)*s*m.h], zb1.Data[:s*m.h])
+				}
+				// Input i's mask support is exactly flipRuns[i] (units of
+				// degree > i); the masked-out weights are +/-0, so adding
+				// only the support is bitwise MatMul's full-row add.
+				wrow := wm1t.Row(i)
+				iruns := m.flipRuns[i]
+				parallel.For(s, e.workers, func(slo, shi int) {
+					for si := slo; si < shi; si++ {
+						if xfb.Row(si)[i] == 1 {
+							drow := zb1.Row(si)
+							for _, run := range iruns {
+								dst := drow[run[0]:run[1]]
+								src := wrow[run[0]:run[1]]
+								for k := range dst {
+									dst[k] += src[k]
+								}
+							}
+						}
+					}
+				})
+			}
+		}
+		tensor.AddRowBias(zb1, m.B1, e.workers)
+		// Base layer 2, with the tail-only path running the explicit
+		// ascending-unit fold (bitwise MatMulReLU's chain) so it can
+		// snapshot the partial sums the flip rows resume from.
+		zb2 := growMat(&e.bufZ2, s, m.n)
+		var pre2 *tensor.Matrix
+		if e.fullFlip || nf == 0 || maxK0 < 0 {
+			tensor.MatMulReLU(zb2, zb1, wm2t, e.workers)
+		} else {
+			pre2 = growMat(&e.bufPre2, (maxK0+1)*s, m.n)
+			parallel.For(s, e.workers, func(slo, shi int) {
+				for si := slo; si < shi; si++ {
+					row := zb2.Row(si)
+					for j := range row {
+						row[j] = 0
+					}
+				}
+			})
+			for k := 0; k < m.h; k++ {
+				if k <= maxK0 && needSnap[k] {
+					copy(pre2.Data[k*s*m.n:(k+1)*s*m.n], zb2.Data[:s*m.n])
+				}
+				// Unit k's layer-2 mask support is the output suffix
+				// [deg(k), n) (empty at degree 0); masked-out weights are
+				// +/-0, so restricting the add is bitwise MatMulReLU.
+				d0 := m.deg[k]
+				if d0 == 0 {
+					continue
+				}
+				wsub := wm2t.Row(k)[d0:]
+				parallel.For(s, e.workers, func(slo, shi int) {
+					for si := slo; si < shi; si++ {
+						if av := zb1.Row(si)[k]; av > 0 {
+							dsub := zb2.Row(si)[d0:]
+							for j, wv := range wsub {
+								dsub[j] += av * wv
+							}
+						}
+					}
+				})
+			}
+		}
+		tensor.AddRowBias(zb2, m.B2, e.workers)
+		p := growMat(&e.bufP, s, m.n+1)
 		parallel.For(s, e.workers, func(slo, shi int) {
 			for si := slo; si < shi; si++ {
 				x := b.Row(lo + si)
-				z1row := zb1.Row(si)
-				copy(z1row, m.B1)
-				for i, bit := range x {
-					m.AccumulateInput(z1row, i, bit)
-				}
-				for f, bit := range flips {
-					row := xf.Row(si*nf + f)
-					for i, xb := range x {
-						row[i] = float64(xb)
+				zrow := zb2.Row(si)
+				prow := p.Row(si)
+				var lp float64
+				prow[0] = 0
+				for j, xb := range x {
+					if xb == 1 {
+						lp += logSigmoid(zrow[j])
+					} else {
+						lp += logSigmoid(-zrow[j])
 					}
-					row[bit] = float64(1 - x[bit])
+					prow[j+1] = lp
 				}
-			}
-		})
-		// Base rows: output layer over ReLU(z1), as flip-cache refresh does
-		// (the ReLU is fused into the GEMM's skip condition).
-		tensor.MatMulReLU(zb2, zb1, wm2t, e.workers)
-		tensor.AddRowBias(zb2, m.B2, e.workers)
-		parallel.For(s, e.workers, func(slo, shi int) {
-			for si := slo; si < shi; si++ {
-				base[lo+si] = 0.5 * logProbFromZ2(b.Row(lo+si), zb2.Row(si))
+				base[lo+si] = 0.5 * lp
 			}
 		})
 		if nf == 0 {
 			continue
 		}
-		// Flip rows: the full fresh forward as two GEMMs.
-		zf1 := growMat(&e.bufZ1, fr, m.h)
-		zf2 := growMat(&e.bufZ2, fr, m.n)
-		tensor.MatMul(zf1, xf, wm1t, e.workers)
-		tensor.AddRowBias(zf1, m.B1, e.workers)
-		tensor.MatMulReLU(zf2, zf1, wm2t, e.workers)
-		tensor.AddRowBias(zf2, m.B2, e.workers)
+		fr := s * nf
+		xff := growMat(&e.bufXF, fr, m.n)
+		zf1 := growMat(&e.bufZB1, fr, m.h)
+		zf2 := growMat(&e.bufZB2, fr, m.n)
+		// Group-major super-batch: row f*s+si is sample si with bit
+		// flips[f] flipped. In tail-only mode layer 1 is seeded with the
+		// base pre-activations — bitwise valid for every hidden unit the
+		// mask hides from the flipped bit — and only the flipRuns columns
+		// are recomputed; the full-flip reference recomputes everything
+		// with whole-super-batch GEMMs (the PR 4 shape).
 		parallel.For(fr, e.workers, func(rlo, rhi int) {
 			for r := rlo; r < rhi; r++ {
-				flipLP[lo*nf+r] = 0.5 * logProbFromZ2F(xf.Row(r), zf2.Row(r))
+				f, si := r/s, r%s
+				x := b.Row(lo + si)
+				row := xff.Row(r)
+				for i, xb := range x {
+					row[i] = float64(xb)
+				}
+				row[flips[f]] = float64(1 - x[flips[f]])
+				if !e.fullFlip {
+					copy(zf1.Row(r), zb1.Row(si))
+				}
+			}
+		})
+		if e.fullFlip {
+			tensor.MatMul(zf1, xff, wm1t, e.workers)
+			tensor.AddRowBias(zf1, m.B1, e.workers)
+			tensor.MatMulReLU(zf2, zf1, wm2t, e.workers)
+			tensor.AddRowBias(zf2, m.B2, e.workers)
+		} else {
+			for f, bit := range flips {
+				xb := &tensor.Matrix{Rows: s, Cols: m.n, Data: xff.Data[f*s*m.n : (f+1)*s*m.n]}
+				z1b := &tensor.Matrix{Rows: s, Cols: m.h, Data: zf1.Data[f*s*m.h : (f+1)*s*m.h]}
+				z2b := &tensor.Matrix{Rows: s, Cols: m.n, Data: zf2.Data[f*s*m.n : (f+1)*s*m.n]}
+				runs := m.flipRuns[bit]
+				if len(runs) == 0 {
+					// No hidden unit sees this bit: every tail output
+					// pre-activation is bitwise the base one; only the
+					// flipped site's term re-branches, which the fold stage
+					// reads from zb2 directly.
+					if bit+1 < m.n {
+						parallel.For(s, e.workers, func(slo, shi int) {
+							for si := slo; si < shi; si++ {
+								copy(z2b.Row(si)[bit+1:], zb2.Row(si)[bit+1:])
+							}
+						})
+					}
+					continue
+				}
+				{
+					// Changed hidden columns: restart each element from the
+					// base fold's snapshot before site `bit`, re-run the
+					// suffix of the accumulation chain against the flipped
+					// float row (identical adds for every site > bit), then
+					// apply the bias — bitwise the fresh layer-1 fold at a
+					// fraction of its cost. Unchanged columns keep the base
+					// z1 bytes they were seeded with.
+					preBand := pre.Data[bit*s*m.h : (bit+1)*s*m.h]
+					parallel.For(s, e.workers, func(slo, shi int) {
+						for si := slo; si < shi; si++ {
+							zrow := z1b.Row(si)
+							prow := preBand[si*m.h : (si+1)*m.h]
+							for _, run := range runs {
+								copy(zrow[run[0]:run[1]], prow[run[0]:run[1]])
+							}
+							xrow := xb.Row(si)
+							for i := bit; i < m.n; i++ {
+								if xrow[i] != 1 {
+									continue
+								}
+								wrow := wm1t.Row(i)
+								off := 0
+								if m.runsAscending {
+									// Within an ascending run, input i's
+									// mask support is the suffix starting
+									// i-bit units in (the rest would add
+									// exact +/-0 terms).
+									off = i - bit
+								}
+								for _, run := range runs {
+									r0 := run[0] + off
+									if r0 >= run[1] {
+										continue
+									}
+									dst := zrow[r0:run[1]]
+									src := wrow[r0:run[1]]
+									for k := range dst {
+										dst[k] += src[k]
+									}
+								}
+							}
+						}
+					})
+					for _, run := range runs {
+						tensor.AddRowBiasCols(z1b, m.B1, run[0], run[1], e.workers)
+					}
+				}
+				if bit+1 >= m.n {
+					continue
+				}
+				// Layer-2 tail: resume each element's fold from the base
+				// snapshot before the first changed hidden unit, then run
+				// the suffix against the flip row's activations (ReLU as
+				// the same skip-on-nonpositive MatMulReLU uses).
+				k0 := runs[0][0]
+				preBand2 := pre2.Data[k0*s*m.n : (k0+1)*s*m.n]
+				parallel.For(s, e.workers, func(slo, shi int) {
+					for si := slo; si < shi; si++ {
+						zrow := z2b.Row(si)[bit+1:]
+						copy(zrow, preBand2[si*m.n+bit+1:(si+1)*m.n])
+						arow := z1b.Row(si)
+						for k := k0; k < m.h; k++ {
+							av := arow[k]
+							if av <= 0 {
+								continue
+							}
+							// Unit k only feeds outputs j >= deg(k); the
+							// masked-out head of the row is +/-0.
+							lo2 := bit + 1
+							if d := m.deg[k]; d > lo2 {
+								lo2 = d
+							} else if d == 0 {
+								continue
+							}
+							if lo2 >= m.n {
+								continue
+							}
+							wsub := wm2t.Row(k)[lo2:]
+							dsub := zrow[lo2-bit-1:]
+							for j, wv := range wsub {
+								dsub[j] += av * wv
+							}
+						}
+					}
+				})
+				tensor.AddRowBiasCols(z2b, m.B2, bit+1, m.n, e.workers)
+			}
+		}
+		// Fold the tails (full fold in fullFlip mode) and emit deltas.
+		parallel.For(fr, e.workers, func(rlo, rhi int) {
+			for r := rlo; r < rhi; r++ {
+				f, si := r/s, r%s
+				bit := flips[f]
+				x := b.Row(lo + si)
+				var lp float64
+				if e.fullFlip {
+					lp = logProbFromZ2F(xff.Row(r), zf2.Row(r))
+				} else {
+					lp = p.Row(si)[bit]
+					if x[bit] == 0 { // flipped value is 1
+						lp += logSigmoid(zb2.Row(si)[bit])
+					} else {
+						lp += logSigmoid(-zb2.Row(si)[bit])
+					}
+					zrow := zf2.Row(r)
+					for j := bit + 1; j < m.n; j++ {
+						if x[j] == 1 {
+							lp += logSigmoid(zrow[j])
+						} else {
+							lp += logSigmoid(-zrow[j])
+						}
+					}
+				}
+				delta[(lo+si)*nf+f] = 0.5*lp - base[lo+si]
 			}
 		})
 	}

@@ -74,6 +74,20 @@ type CacheBuilder interface {
 	NewFlipCache(x []int) FlipCache
 }
 
+// TailFlipCache is implemented by flip caches whose Delta is derived from
+// an absolute flipped log-psi that is bitwise identical to a fresh LogPsi
+// of the flipped configuration (MADE's tail-only cache: the autoregressive
+// mask leaves conditionals j < b untouched under a flip of bit b, so only
+// output sites j >= b are re-evaluated and the log-probability fold resumes
+// from a cached prefix sum). Delta(b) == FlipLogPsi(b) - LogPsi() exactly,
+// by construction.
+type TailFlipCache interface {
+	FlipCache
+	// FlipLogPsi returns log |psi| of the current configuration with bit
+	// flipped, without changing state — bitwise equal to a fresh LogPsi.
+	FlipLogPsi(bit int) float64
+}
+
 // GradEvaluator computes log-psi gradients with per-worker buffers.
 type GradEvaluator interface {
 	GradLogPsi(x []int, grad tensor.Vector)

@@ -26,6 +26,17 @@ type RBM struct {
 	A     tensor.Vector  // n
 	// A0 is theta[d-1], a constant offset (irrelevant to ratios but kept
 	// to mirror the paper's FC_{n,1} output head).
+
+	// Transposed-weight cache for the batched GEMM path: wt holds W^T
+	// (n x h), materialized once per parameter version so LogPsiBatch/
+	// GradLogPsiBatch/FlipLogPsiBatch can run theta = S * W^T as a blocked
+	// MatMul with per-column accumulators (transposition is pure layout;
+	// every product S_i * W_ki is the scalar MulVec product with operands
+	// commuted, which is bitwise identical). version is bumped by
+	// InvalidateParams; wtVersion records the build version (0 = never).
+	version   uint64
+	wtVersion uint64
+	wt        *tensor.Matrix
 }
 
 // RBMScratch holds per-worker buffers for RBM evaluation.
@@ -54,7 +65,31 @@ func NewRBM(n, h int, r *rng.Rand) *RBM {
 	tensor.Vector(m.W.Data).Scale(0.1)
 	m.C.Scale(0.1)
 	m.A.Scale(0.1)
+	m.version = 1
 	return m
+}
+
+// InvalidateParams marks the transposed-weight cache stale. It must be
+// called after any in-place mutation of Params() (optimizer steps,
+// checkpoint loads); trainers do this through nn.InvalidateParams.
+func (m *RBM) InvalidateParams() { m.version++ }
+
+// weightsT returns W^T, rebuilding the cached transpose if the parameters
+// changed since the last build. Not safe for concurrent first use; the
+// batched paths call it from the coordinating goroutine before fanning out.
+func (m *RBM) weightsT() *tensor.Matrix {
+	if m.wtVersion != m.version {
+		if m.wt == nil {
+			m.wt = tensor.NewMatrix(m.n, m.h)
+		}
+		for k := 0; k < m.h; k++ {
+			for i := 0; i < m.n; i++ {
+				m.wt.Data[i*m.h+k] = m.W.Data[k*m.n+i]
+			}
+		}
+		m.wtVersion = m.version
+	}
+	return m.wt
 }
 
 // NewScratch allocates evaluation buffers for one worker.
@@ -83,15 +118,63 @@ func (m *RBM) hiddenPre(x []int, s *RBMScratch) {
 	s.Theta.Add(m.C)
 }
 
+// logPsiFromTheta reduces hidden pre-activations and spins to log psi:
+// a0 first, then the ln-cosh terms in ascending hidden order, then the
+// visible dot product. Shared verbatim by the scalar and batched paths —
+// identical theta/spin bytes in, identical log psi out.
+func (m *RBM) logPsiFromTheta(spins, theta tensor.Vector) float64 {
+	lp := m.theta[len(m.theta)-1] // a0
+	for _, th := range theta {
+		lp += lnCosh(th)
+	}
+	lp += m.A.Dot(spins)
+	return lp
+}
+
+// flipDelta computes log psi(x^bit) - log psi(x) in O(h) from the current
+// hidden pre-activations and spins: flipping bit sends s_b -> -s_b, so
+// theta_k -> theta_k - 2 W_kb s_b and the visible term changes by
+// -2 a_b s_b. Shared verbatim by rbmFlipCache.Delta and the batched
+// FlipLogPsiBatch — the flip-cache delta convention in one place.
+func (m *RBM) flipDelta(spins, theta tensor.Vector, bit int) float64 {
+	sb := spins[bit]
+	var d float64
+	for k := 0; k < m.h; k++ {
+		old := theta[k]
+		d += lnCosh(old-2*m.W.At(k, bit)*sb) - lnCosh(old)
+	}
+	d -= 2 * m.A[bit] * sb
+	return d
+}
+
+// gradFromTheta runs the closed-form gradient from hidden pre-activations
+// and spins into grad (overwritten): dW_ki = tanh(theta_k) s_i,
+// dc_k = tanh(theta_k), da_i = s_i, da0 = 1. Shared verbatim by the scalar
+// and batched gradient paths.
+func (m *RBM) gradFromTheta(spins, theta tensor.Vector, grad tensor.Vector) {
+	if len(grad) != m.NumParams() {
+		panic("nn: gradient buffer has wrong length")
+	}
+	h, n := m.h, m.n
+	gW := grad[0 : h*n]
+	gC := grad[h*n : h*n+h]
+	gA := grad[h*n+h : h*n+h+n]
+	for k := 0; k < h; k++ {
+		t := math.Tanh(theta[k])
+		gC[k] = t
+		base := k * n
+		for i := 0; i < n; i++ {
+			gW[base+i] = t * spins[i]
+		}
+	}
+	copy(gA, spins)
+	grad[len(grad)-1] = 1
+}
+
 // LogPsiScratch evaluates log psi(x) with caller-owned buffers.
 func (m *RBM) LogPsiScratch(x []int, s *RBMScratch) float64 {
 	m.hiddenPre(x, s)
-	lp := m.theta[len(m.theta)-1] // a0
-	for _, th := range s.Theta {
-		lp += lnCosh(th)
-	}
-	lp += m.A.Dot(s.S)
-	return lp
+	return m.logPsiFromTheta(s.S, s.Theta)
 }
 
 // LogPsi implements Wavefunction. Hot paths should use LogPsiScratch.
@@ -102,27 +185,11 @@ func (m *RBM) GradLogPsi(x []int, grad tensor.Vector) {
 	m.GradLogPsiScratch(x, grad, m.NewScratch())
 }
 
-// GradLogPsiScratch accumulates d log psi / d theta into grad (overwritten):
-// dW_ki = tanh(theta_k) s_i, dc_k = tanh(theta_k), da_i = s_i, da0 = 1.
+// GradLogPsiScratch accumulates d log psi / d theta into grad
+// (overwritten), through the shared gradFromTheta closed form.
 func (m *RBM) GradLogPsiScratch(x []int, grad tensor.Vector, s *RBMScratch) {
-	if len(grad) != m.NumParams() {
-		panic("nn: gradient buffer has wrong length")
-	}
 	m.hiddenPre(x, s)
-	h, n := m.h, m.n
-	gW := grad[0 : h*n]
-	gC := grad[h*n : h*n+h]
-	gA := grad[h*n+h : h*n+h+n]
-	for k := 0; k < h; k++ {
-		t := math.Tanh(s.Theta[k])
-		gC[k] = t
-		base := k * n
-		for i := 0; i < n; i++ {
-			gW[base+i] = t * s.S[i]
-		}
-	}
-	copy(gA, s.S)
-	grad[len(grad)-1] = 1
+	m.gradFromTheta(s.S, s.Theta, grad)
 }
 
 // NewFlipCache implements CacheBuilder with the O(h)-per-flip cache: the
@@ -144,18 +211,10 @@ type rbmFlipCache struct {
 
 func (c *rbmFlipCache) LogPsi() float64 { return c.logPsi }
 
-// Delta computes log psi(x^b) - log psi(x) in O(h): flipping bit b sends
-// s_b -> -s_b, so theta_k -> theta_k - 2 W_kb s_b and the visible term
-// changes by -2 a_b s_b.
+// Delta computes log psi(x^b) - log psi(x) in O(h) through the shared
+// flipDelta closed form.
 func (c *rbmFlipCache) Delta(bit int) float64 {
-	sb := c.s.S[bit]
-	var d float64
-	for k := 0; k < c.m.h; k++ {
-		old := c.s.Theta[k]
-		d += lnCosh(old-2*c.m.W.At(k, bit)*sb) - lnCosh(old)
-	}
-	d -= 2 * c.m.A[bit] * sb
-	return d
+	return c.m.flipDelta(c.s.S, c.s.Theta, bit)
 }
 
 func (c *rbmFlipCache) Flip(bit int) {

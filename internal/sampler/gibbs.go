@@ -23,6 +23,11 @@ import (
 //
 // update every coordinate per sweep — often mixing far better than
 // single-bit-flip Metropolis, at O(nh) per sweep.
+//
+// Like MCMC, the sweeps are sequential per chain and stay scalar; the
+// local-energy and gradient phases downstream of the sampled batch
+// dispatch to the RBM's nn.BatchEvaluator under core.EvalAuto, bitwise
+// unchanged.
 type Gibbs struct {
 	model  *nn.RBM
 	cfg    MCMCConfig // Chains/BurnIn/Thin carry over; BurnIn counts sweeps

@@ -29,6 +29,12 @@ func DefaultBurnIn(n int) int { return 3*n + 100 }
 // MCMC is random-walk Metropolis-Hastings with single-bit-flip proposals
 // targeting pi(x) proportional to psi(x)^2. It works with any wavefunction
 // exposing a FlipCache; with the RBM's O(h) cache each step costs O(h).
+//
+// Chains are inherently sequential, so sampling itself stays scalar in
+// every evaluation mode; the energy and gradient phases that consume the
+// sampled batch ride the model's nn.BatchEvaluator (the RBM's theta-GEMM
+// path) whenever the trainer's eval mode allows it, bitwise unchanged —
+// see core.NewBatchedEval and examples/rbmmcmc.
 type MCMC struct {
 	model interface {
 		nn.Wavefunction

@@ -119,6 +119,124 @@ func MatMulReLU(dst, a, b *Matrix, workers int) {
 	})
 }
 
+// colsKernel is the shared body of MatMulCols and MatMulReLUCols: a 4-row
+// register-blocked micro-kernel over destination columns [j0, j1). Narrow
+// column tails cannot amortize per-(row, k) loop overhead the way the
+// full-width kernels do, so four destination rows share each b-row slice.
+//
+// Bitwise contract: every computed element is still accumulated over k in
+// ascending order, receiving exactly one addition per k. Instead of
+// skipping k for zero (or, with relu set, non-positive) a-elements, the
+// micro-kernel multiplies by the (ReLU'd) coefficient: the skipped terms
+// become av*bv == +/-0 additions, which are exact no-ops — an accumulator
+// that starts at +0 and only ever adds finite values can never become -0,
+// and x + (+/-0) == x otherwise. This is the same argument that makes
+// MatMulReLU's skip exact, run in reverse; the av == 1 multiply elision is
+// dropped for the same reason (1*x == x bitwise). Results are therefore
+// bitwise identical to MatMul / MatMulReLU on the same columns.
+func colsKernel(dst, a, b *Matrix, j0, j1 int, relu bool, workers int) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("tensor: column-range matmul dimension mismatch")
+	}
+	if j0 < 0 || j1 > dst.Cols || j0 > j1 {
+		panic("tensor: column-range matmul bounds out of range")
+	}
+	if j0 == j1 {
+		return
+	}
+	w := j1 - j0
+	nrb := (dst.Rows + mmRowBlock - 1) / mmRowBlock
+	parallel.For(nrb, workers, func(lo, hi int) {
+		for rb := lo; rb < hi; rb++ {
+			i0, i1 := rb*mmRowBlock, (rb+1)*mmRowBlock
+			if i1 > dst.Rows {
+				i1 = dst.Rows
+			}
+			i := i0
+			for ; i+4 <= i1; i += 4 {
+				a0 := a.Data[(i+0)*a.Cols : (i+1)*a.Cols]
+				a1 := a.Data[(i+1)*a.Cols : (i+2)*a.Cols]
+				a2 := a.Data[(i+2)*a.Cols : (i+3)*a.Cols]
+				a3 := a.Data[(i+3)*a.Cols : (i+4)*a.Cols]
+				d0 := dst.Data[(i+0)*dst.Cols+j0 : (i+0)*dst.Cols+j1]
+				d1 := dst.Data[(i+1)*dst.Cols+j0 : (i+1)*dst.Cols+j1]
+				d2 := dst.Data[(i+2)*dst.Cols+j0 : (i+2)*dst.Cols+j1]
+				d3 := dst.Data[(i+3)*dst.Cols+j0 : (i+3)*dst.Cols+j1]
+				for j := 0; j < w; j++ {
+					d0[j], d1[j], d2[j], d3[j] = 0, 0, 0, 0
+				}
+				for k := 0; k < a.Cols; k++ {
+					v0, v1, v2, v3 := a0[k], a1[k], a2[k], a3[k]
+					if relu {
+						if v0 < 0 {
+							v0 = 0
+						}
+						if v1 < 0 {
+							v1 = 0
+						}
+						if v2 < 0 {
+							v2 = 0
+						}
+						if v3 < 0 {
+							v3 = 0
+						}
+					}
+					if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
+						continue
+					}
+					brow := b.Data[k*b.Cols+j0 : k*b.Cols+j0+w]
+					for j, bv := range brow {
+						d0[j] += v0 * bv
+						d1[j] += v1 * bv
+						d2[j] += v2 * bv
+						d3[j] += v3 * bv
+					}
+				}
+			}
+			for ; i < i1; i++ {
+				arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+				drow := dst.Data[i*dst.Cols+j0 : i*dst.Cols+j1]
+				for j := range drow {
+					drow[j] = 0
+				}
+				for k, av := range arow {
+					if relu && av < 0 {
+						av = 0
+					}
+					if av == 0 {
+						continue
+					}
+					brow := b.Data[k*b.Cols+j0 : k*b.Cols+j0+w]
+					for j, bv := range brow {
+						drow[j] += av * bv
+					}
+				}
+			}
+		}
+	})
+}
+
+// MatMulCols computes dst[:, j0:j1) = (a*b)[:, j0:j1), the column-range
+// restriction of MatMul: destination columns outside [j0, j1) are left
+// untouched (not zeroed, not read). Every computed element is accumulated
+// over the contraction index k in the same fixed ascending order as MatMul,
+// so the written columns are bitwise identical to a full MatMul (see
+// colsKernel) — the kernel exists purely to skip work the caller can prove
+// unnecessary (the tail-only flip evaluation, where the autoregressive mask
+// guarantees the head columns are already known). dst must not alias a or b.
+func MatMulCols(dst, a, b *Matrix, j0, j1, workers int) {
+	colsKernel(dst, a, b, j0, j1, false, workers)
+}
+
+// MatMulReLUCols computes dst[:, j0:j1) = (max(0, a)*b)[:, j0:j1), the
+// column-range restriction of MatMulReLU (same implicit ReLU, same
+// ascending-k accumulation per element, columns outside the range left
+// untouched; see colsKernel for the exactness argument). dst must not alias
+// a or b.
+func MatMulReLUCols(dst, a, b *Matrix, j0, j1, workers int) {
+	colsKernel(dst, a, b, j0, j1, true, workers)
+}
+
 // MatMulT computes dst = a*b^T (dst: M x N, a: M x K, b: N x K) without
 // materializing the transpose: element (i, j) is the dot product of row i
 // of a with row j of b, accumulated in ascending k order — the identical
@@ -177,6 +295,31 @@ func AddRowBias(m *Matrix, bias Vector, workers int) {
 		for i := lo; i < hi; i++ {
 			row := m.Data[i*m.Cols : (i+1)*m.Cols]
 			for j, bv := range bias {
+				row[j] += bv
+			}
+		}
+	})
+}
+
+// AddRowBiasCols adds bias[j0:j1) to columns [j0, j1) of every row of m,
+// the column-range restriction of AddRowBias (bias still has length m.Cols;
+// columns outside the range are untouched). Same one-addition-per-element,
+// dot-first-bias-second contract.
+func AddRowBiasCols(m *Matrix, bias Vector, j0, j1, workers int) {
+	if len(bias) != m.Cols {
+		panic("tensor: AddRowBiasCols length mismatch")
+	}
+	if j0 < 0 || j1 > m.Cols || j0 > j1 {
+		panic("tensor: AddRowBiasCols column range out of bounds")
+	}
+	if j0 == j1 {
+		return
+	}
+	sub := bias[j0:j1]
+	parallel.For(m.Rows, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.Data[i*m.Cols+j0 : i*m.Cols+j1]
+			for j, bv := range sub {
 				row[j] += bv
 			}
 		}

@@ -82,6 +82,96 @@ func TestMatMulTBitwiseMatchesMulVec(t *testing.T) {
 	}
 }
 
+// reluRef materializes max(0, a) for reference products.
+func reluRef(a *Matrix) *Matrix {
+	out := a.Clone()
+	for i := range out.Data {
+		if out.Data[i] < 0 {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// TestMatMulColsBitwiseMatchesFull: the column-range kernels must
+// reproduce the corresponding columns of the full kernels exactly — for
+// every sub-range, worker count, and ragged shape — and must leave the
+// columns outside the range untouched. This is the tensor-level form of
+// the tail-only flip guarantee (the 4-row micro-kernel's
+// ReLU-as-multiply-by-zero and dropped 1*x elision are exact no-ops).
+func TestMatMulColsBitwiseMatchesFull(t *testing.T) {
+	r := rng.New(23)
+	shapes := [][3]int{{1, 1, 1}, {2, 3, 5}, {6, 4, 9}, {33, 17, 65}, {13, 64, 32}}
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		a := randomMatrix(m, k, r)
+		b := randomMatrix(k, n, r)
+		wantMul := NewMatrix(m, n)
+		Mul(wantMul, a, b)
+		wantReLU := NewMatrix(m, n)
+		Mul(wantReLU, reluRef(a), b)
+		ranges := [][2]int{{0, n}, {0, 0}, {n / 2, n}, {0, (n + 1) / 2}, {n / 3, 2*n/3 + 1}}
+		for _, jr := range ranges {
+			j0, j1 := jr[0], jr[1]
+			if j1 > n {
+				j1 = n
+			}
+			for _, workers := range []int{1, 2, 5} {
+				got := randomMatrix(m, n, r) // poison so untouched columns are provably untouched
+				keep := got.Clone()
+				MatMulCols(got, a, b, j0, j1, workers)
+				gotR := randomMatrix(m, n, r)
+				keepR := gotR.Clone()
+				MatMulReLUCols(gotR, a, b, j0, j1, workers)
+				for i := 0; i < m; i++ {
+					for j := 0; j < n; j++ {
+						idx := i*n + j
+						if j >= j0 && j < j1 {
+							if got.Data[idx] != wantMul.Data[idx] {
+								t.Fatalf("MatMulCols(%v) shape %v w=%d el (%d,%d): %v != %v",
+									jr, s, workers, i, j, got.Data[idx], wantMul.Data[idx])
+							}
+							if gotR.Data[idx] != wantReLU.Data[idx] {
+								t.Fatalf("MatMulReLUCols(%v) shape %v w=%d el (%d,%d): %v != %v",
+									jr, s, workers, i, j, gotR.Data[idx], wantReLU.Data[idx])
+							}
+						} else {
+							if got.Data[idx] != keep.Data[idx] || gotR.Data[idx] != keepR.Data[idx] {
+								t.Fatalf("column-range kernel touched column %d outside [%d,%d)", j, j0, j1)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAddRowBiasCols: the column-range bias add must match AddRowBias on
+// the range and leave the rest untouched.
+func TestAddRowBiasCols(t *testing.T) {
+	r := rng.New(29)
+	m := randomMatrix(9, 7, r)
+	bias := NewVector(7)
+	r.FillUniform(bias, -1, 1)
+	want := m.Clone()
+	AddRowBias(want, bias, 2)
+	got := m.Clone()
+	AddRowBiasCols(got, bias, 2, 5, 3)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			idx := i*m.Cols + j
+			in := j >= 2 && j < 5
+			if in && got.Data[idx] != want.Data[idx] {
+				t.Fatalf("AddRowBiasCols el (%d,%d): %v != %v", i, j, got.Data[idx], want.Data[idx])
+			}
+			if !in && got.Data[idx] != m.Data[idx] {
+				t.Fatalf("AddRowBiasCols touched column %d outside [2,5)", j)
+			}
+		}
+	}
+}
+
 // TestAddRowBias: one addition per element, after the products.
 func TestAddRowBias(t *testing.T) {
 	r := rng.New(17)
