@@ -14,24 +14,36 @@ package comm
 // Wait returns. Wait must be called exactly once, from the goroutine that
 // owns the Comm; it establishes the happens-before edge that makes the
 // reduced buffer and the traffic counters safe to read.
+//
+// Failure semantics follow the blocking collectives (see fault.go): the
+// background goroutine observes the group deadline and abort channel at
+// every blocking point, so a dead or wedged peer makes Wait return an error
+// within one deadline instead of hanging — and the goroutine itself exits
+// rather than leaking. A failed initiation (dead rank, aborted group)
+// returns a pre-completed Handle whose Wait reports the error.
 
 // Handle is an in-flight non-blocking collective. Wait blocks until the
-// reduction has completed on this rank and the result is visible in the
-// buffer passed at initiation.
+// reduction has completed — or failed — on this rank; on success the result
+// is visible in the buffer passed at initiation.
 type Handle struct {
 	c      *Comm
 	done   chan struct{}
+	err    error // written before done is closed, read after Wait observes it
 	waited bool
 }
 
-// Wait completes the collective. It must be called exactly once per Handle.
-func (h *Handle) Wait() {
+// Wait completes the collective and reports how it ended: nil on a fully
+// reduced buffer, an ErrPeerLost/ErrRankKilled-wrapping error if the group
+// degraded while the reduction was in flight (the buffer then holds
+// garbage). It must be called exactly once per Handle.
+func (h *Handle) Wait() error {
 	if h.waited {
 		panic("comm: Handle.Wait called twice")
 	}
 	h.waited = true
 	<-h.done
 	h.c.end()
+	return h.err
 }
 
 // IAllReduceSum starts a non-blocking elementwise sum of x across all ranks
@@ -39,9 +51,16 @@ func (h *Handle) Wait() {
 // must not be touched. The traffic moved is identical to AllReduceSum —
 // only the blocking point changes.
 func (c *Comm) IAllReduceSum(x []float64) *Handle {
-	c.begin()
-	c.asyncColl++
 	h := &Handle{c: c, done: make(chan struct{})}
+	if err := c.begin(); err != nil {
+		// Failed initiation (dead rank or condemned group): hand back a
+		// completed handle carrying the error so the caller's
+		// Start/Finish discipline stays uniform.
+		h.err = err
+		close(h.done)
+		return h
+	}
+	c.asyncColl++
 	if c.g.size == 1 {
 		// Nothing to exchange and RingAllReduceTime(p=1) is zero: complete
 		// immediately so single-rank groups stay goroutine-free and
@@ -50,7 +69,16 @@ func (c *Comm) IAllReduceSum(x []float64) *Handle {
 		return h
 	}
 	go func() {
-		c.ringReduce(x)
+		if err := c.injectDelay(); err != nil {
+			h.err = err
+			close(h.done)
+			return
+		}
+		if err := c.ringReduce(x); err != nil {
+			h.err = err
+			close(h.done)
+			return
+		}
 		c.simulate(len(x))
 		close(h.done)
 	}()

@@ -4,12 +4,22 @@
 // barrier. It stands in for NCCL/MPI in the paper's multi-GPU setup — the
 // algorithms are the real ones; only the transport is in-memory.
 //
+// Collectives return errors instead of hanging when the group degrades: a
+// configurable deadline (Group.SetDeadline) bounds every blocking point, a
+// group-level abort channel fans the first failure out to every rank —
+// including the background goroutines of non-blocking collectives — and a
+// fault-injection seam (Group.FailAt, Group.Delay, mirroring SetLink)
+// scripts rank deaths and stragglers so the failure paths are testable.
+// See fault.go. On a healthy group with no deadline the behavior (and the
+// fast path) is unchanged and every error is nil.
+//
 // The package also exposes the standard alpha-beta cost model used to
 // predict collective latency on modeled cluster links (see package cluster).
 package comm
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -20,6 +30,20 @@ type Group struct {
 	right []chan []float64 // right[r]: messages flowing r -> (r+1)%size
 	bcast []chan []float64 // per-rank broadcast mailboxes
 	link  Link             // zero value: ideal network, no simulated cost
+
+	// Bounded-wait failure machinery (see fault.go). deadline bounds every
+	// blocking point; abort is closed (once, with abortErr recorded first)
+	// when any rank declares the group dead; failAt/delay are the scripted
+	// per-rank fault plans; dead and coll are per-rank, owner-goroutine
+	// state: which ranks have died and how many collectives each has begun.
+	deadline time.Duration
+	abort    chan struct{}
+	abortMu  sync.Mutex
+	abortErr error
+	failAt   []int // collective index at which the rank dies; -1 = never
+	delay    []time.Duration
+	dead     []bool
+	coll     []int
 }
 
 // SetLink attaches an alpha-beta link model to the group: every subsequent
@@ -41,6 +65,14 @@ func NewGroup(size int) *Group {
 		g.right[i] = make(chan []float64, 1)
 		g.bcast[i] = make(chan []float64, 1)
 	}
+	g.abort = make(chan struct{})
+	g.failAt = make([]int, size)
+	for i := range g.failAt {
+		g.failAt[i] = -1
+	}
+	g.delay = make([]time.Duration, size)
+	g.dead = make([]bool, size)
+	g.coll = make([]int, size)
 	return g
 }
 
@@ -94,11 +126,28 @@ func (c *Comm) Collectives() (sync, async int64) { return c.syncColl, c.asyncCol
 
 // begin marks a collective in flight, enforcing the one-outstanding-per-rank
 // rule that keeps ring messages of successive collectives from interleaving.
-func (c *Comm) begin() {
+// It is also the fault-injection choke point: it fails fast on an aborted
+// group, and fires the rank's scripted death at the configured collective
+// index (counted per rank across all collective kinds).
+func (c *Comm) begin() error {
 	if c.inflight {
 		panic("comm: collective started while another is still in flight on this rank (Wait first)")
 	}
+	g := c.g
+	if err := g.Err(); err != nil {
+		return fmt.Errorf("comm: rank %d: collective on aborted group: %w", c.rank, err)
+	}
+	if g.dead[c.rank] {
+		return fmt.Errorf("comm: rank %d is dead: %w", c.rank, ErrRankKilled)
+	}
+	seq := g.coll[c.rank]
+	g.coll[c.rank]++
+	if g.failAt[c.rank] >= 0 && seq >= g.failAt[c.rank] {
+		g.dead[c.rank] = true
+		return fmt.Errorf("comm: rank %d killed at collective %d: %w", c.rank, seq, ErrRankKilled)
+	}
 	c.inflight = true
+	return nil
 }
 
 func (c *Comm) end() { c.inflight = false }
@@ -116,15 +165,15 @@ func (c *Comm) sleepModeled(t time.Duration) {
 	time.Sleep(t)
 }
 
-func (c *Comm) sendRight(data []float64) {
+func (c *Comm) sendRight(data []float64) error {
 	c.bytesSent += int64(len(data)) * 8
 	c.messages++
-	c.g.right[c.rank] <- data
+	return c.sendOn(c.g.right[c.rank], data, (c.rank+1)%c.g.size)
 }
 
-func (c *Comm) recvLeft() []float64 {
+func (c *Comm) recvLeft() ([]float64, error) {
 	left := (c.rank - 1 + c.g.size) % c.g.size
-	return <-c.g.right[left]
+	return c.recvOn(c.g.right[left], left)
 }
 
 // chunkBounds splits [0,n) into p contiguous chunks.
@@ -136,21 +185,33 @@ func chunkBounds(n, p, i int) (lo, hi int) {
 // every rank's x. It is the chunked ring algorithm: p-1 reduce-scatter steps
 // followed by p-1 all-gather steps, moving 2(p-1)/p of the vector per rank.
 // The call blocks until this rank's participation (and any simulated link
-// time) completes; IAllReduceSum is the non-blocking variant.
-func (c *Comm) AllReduceSum(x []float64) {
-	c.begin()
+// time) completes; IAllReduceSum is the non-blocking variant. A non-nil
+// error means the group degraded (deadline exceeded waiting on a peer, the
+// group aborted, or this rank was killed by fault injection) and x holds
+// partially reduced garbage; the group is condemned and every subsequent
+// collective fails fast.
+func (c *Comm) AllReduceSum(x []float64) error {
+	if err := c.begin(); err != nil {
+		return err
+	}
 	defer c.end()
 	c.syncColl++
-	c.ringReduce(x)
+	if err := c.injectDelay(); err != nil {
+		return err
+	}
+	if err := c.ringReduce(x); err != nil {
+		return err
+	}
 	c.simulate(len(x))
+	return nil
 }
 
 // ringReduce is the raw chunked ring all-reduce shared by the blocking and
 // non-blocking entry points.
-func (c *Comm) ringReduce(x []float64) {
+func (c *Comm) ringReduce(x []float64) error {
 	p := c.g.size
 	if p == 1 {
-		return
+		return nil
 	}
 	n := len(x)
 	// Reduce-scatter: after step s, the chunk (rank-s-1) accumulated one
@@ -162,8 +223,13 @@ func (c *Comm) ringReduce(x []float64) {
 		lo, hi := chunkBounds(n, p, sendIdx)
 		out := make([]float64, hi-lo)
 		copy(out, x[lo:hi])
-		c.sendRight(out)
-		in := c.recvLeft()
+		if err := c.sendRight(out); err != nil {
+			return err
+		}
+		in, err := c.recvLeft()
+		if err != nil {
+			return err
+		}
 		lo, hi = chunkBounds(n, p, recvIdx)
 		for i := range in {
 			x[lo+i] += in[i]
@@ -176,28 +242,42 @@ func (c *Comm) ringReduce(x []float64) {
 		lo, hi := chunkBounds(n, p, sendIdx)
 		out := make([]float64, hi-lo)
 		copy(out, x[lo:hi])
-		c.sendRight(out)
-		in := c.recvLeft()
+		if err := c.sendRight(out); err != nil {
+			return err
+		}
+		in, err := c.recvLeft()
+		if err != nil {
+			return err
+		}
 		lo, hi = chunkBounds(n, p, recvIdx)
 		copy(x[lo:hi], in)
 	}
+	return nil
 }
 
 // NaiveAllReduceSum is the gather-to-root-then-broadcast alternative kept
 // for the ablation benchmark: it moves (p-1)*n to the root link instead of
-// spreading traffic around the ring.
-func (c *Comm) NaiveAllReduceSum(x []float64) {
-	c.begin()
+// spreading traffic around the ring. Error semantics match AllReduceSum.
+func (c *Comm) NaiveAllReduceSum(x []float64) error {
+	if err := c.begin(); err != nil {
+		return err
+	}
 	defer c.end()
 	c.syncColl++
+	if err := c.injectDelay(); err != nil {
+		return err
+	}
 	defer c.sleepModeled(NaiveAllReduceTime(float64(len(x))*8, c.g.size, c.g.link))
 	p := c.g.size
 	if p == 1 {
-		return
+		return nil
 	}
 	if c.rank == 0 {
 		for r := 1; r < p; r++ {
-			in := <-c.g.bcast[0]
+			in, err := c.recvOn(c.g.bcast[0], r)
+			if err != nil {
+				return err
+			}
 			for i := range in {
 				x[i] += in[i]
 			}
@@ -207,48 +287,91 @@ func (c *Comm) NaiveAllReduceSum(x []float64) {
 			copy(out, x)
 			c.bytesSent += int64(len(x)) * 8
 			c.messages++
-			c.g.bcast[r] <- out
+			if err := c.sendOn(c.g.bcast[r], out, r); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
 	out := make([]float64, len(x))
 	copy(out, x)
 	c.bytesSent += int64(len(x)) * 8
 	c.messages++
-	c.g.bcast[0] <- out
-	in := <-c.g.bcast[c.rank]
+	if err := c.sendOn(c.g.bcast[0], out, 0); err != nil {
+		return err
+	}
+	in, err := c.recvOn(c.g.bcast[c.rank], 0)
+	if err != nil {
+		return err
+	}
 	copy(x, in)
+	return nil
 }
 
 // Broadcast copies root's x into every rank's x by passing it around the
-// ring (p-1 hops).
-func (c *Comm) Broadcast(x []float64, root int) {
-	c.begin()
+// ring (p-1 payload hops), then circulates a one-element acknowledgement
+// token around the full ring, originated by the last payload recipient.
+// The ack makes Broadcast synchronizing: no rank returns until every rank
+// holds the payload, so a dead rank anywhere on the ring surfaces as a
+// bounded-wait error on every survivor — none of them can complete locally
+// against a lost peer and sail past the failure. Error semantics match
+// AllReduceSum.
+func (c *Comm) Broadcast(x []float64, root int) error {
+	if err := c.begin(); err != nil {
+		return err
+	}
 	defer c.end()
 	c.syncColl++
-	// Modeled cost: p-1 sequential full-vector hops around the ring.
+	if err := c.injectDelay(); err != nil {
+		return err
+	}
+	// Modeled cost: p-1 sequential full-vector hops around the ring (the
+	// one-element ack round is not charged).
 	defer c.sleepModeled(time.Duration(c.g.size-1) * c.g.link.Transfer(float64(len(x))*8))
 	p := c.g.size
 	if p == 1 {
-		return
+		return nil
 	}
 	// Distance from root along the ring.
 	dist := (c.rank - root + p) % p
 	if dist > 0 {
-		in := c.recvLeft()
+		in, err := c.recvLeft()
+		if err != nil {
+			return err
+		}
 		copy(x, in)
 	}
 	if dist < p-1 {
 		out := make([]float64, len(x))
 		copy(out, x)
-		c.sendRight(out)
+		if err := c.sendRight(out); err != nil {
+			return err
+		}
 	}
+	// Ack round: the last payload recipient (dist p-1) originates a token
+	// that travels the full ring and is consumed one hop before it (dist
+	// p-2; the root for p == 2). Receiving the token proves every rank at
+	// greater ring distance — i.e. all of them — got the payload.
+	ack := []float64{1}
+	if dist < p-1 {
+		var err error
+		if ack, err = c.recvLeft(); err != nil {
+			return err
+		}
+	}
+	if dist != (p-2+p)%p {
+		if err := c.sendRight(ack); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-// Barrier blocks until every rank has entered it.
-func (c *Comm) Barrier() {
+// Barrier blocks until every rank has entered it (or the group degrades, in
+// which case it returns the abort cause like every other collective).
+func (c *Comm) Barrier() error {
 	tok := []float64{1}
-	c.AllReduceSum(tok)
+	return c.AllReduceSum(tok)
 }
 
 // Link is an alpha-beta communication link: per-message latency plus

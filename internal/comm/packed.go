@@ -56,8 +56,9 @@ func (p *Packed) Zero() {
 
 // AllReduce sums the packed payload elementwise across all ranks of c's
 // group with one ring all-reduce, leaving identical bytes in every rank's
-// buffer.
-func (p *Packed) AllReduce(c *Comm) { c.AllReduceSum(p.buf) }
+// buffer. A non-nil error means the group degraded mid-collective (see
+// AllReduceSum) and the buffer holds garbage.
+func (p *Packed) AllReduce(c *Comm) error { return c.AllReduceSum(p.buf) }
 
 // IAllReduce starts the same packed reduction non-blocking: the buffer (and
 // every section view) holds the reduced, cross-rank bit-identical result

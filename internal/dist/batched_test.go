@@ -60,8 +60,8 @@ func TestDistBatchedTrajectoryBitIdentical(t *testing.T) {
 		if batched.state[0].bev == nil {
 			t.Fatal("batched trainer did not engage the batched evaluator")
 		}
-		hs := scalar.Train(steps, nil)
-		hb := batched.Train(steps, nil)
+		hs := mustTrain(t, scalar, steps)
+		hb := mustTrain(t, batched, steps)
 		for i := range hs {
 			if hs[i] != hb[i] {
 				t.Fatalf("sr=%v iter %d: scalar %+v != batched %+v", useSR, i, hs[i], hb[i])
@@ -114,8 +114,8 @@ func TestDistRBMBatchedTrajectoryBitIdentical(t *testing.T) {
 	if batched.state[0].bev == nil {
 		t.Fatal("RBM replicas did not engage the batched evaluator")
 	}
-	hs := scalar.Train(steps, nil)
-	hb := batched.Train(steps, nil)
+	hs := mustTrain(t, scalar, steps)
+	hb := mustTrain(t, batched, steps)
 	for i := range hs {
 		if hs[i] != hb[i] {
 			t.Fatalf("iter %d: scalar %+v != batched %+v", i, hs[i], hb[i])
@@ -168,7 +168,7 @@ func TestDistMixedEvalModesStayConsistent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr.Train(steps, nil)
+	mustTrain(t, tr, steps)
 	if err := tr.CheckConsistent(); err != nil {
 		t.Fatalf("mixed-mode replicas diverged: %v", err)
 	}

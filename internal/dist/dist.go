@@ -50,6 +50,7 @@
 package dist
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -116,16 +117,42 @@ type distFisher struct {
 	workers int
 	applies *int64       // collective counter, non-nil on rank 0 only
 	handle  *comm.Handle // in-flight non-blocking reduction (pipelined solve)
+	// err is the sticky failure of a mid-solve collective. The FisherOp
+	// interface has no error return, so a failed reduction is surfaced by
+	// bailing the CG recurrence instead: ApplyDot/FinishApply zero out and
+	// return -1, which classic CG treats as loss of positive definiteness
+	// (pap <= 0) and the pipelined solve hits one iteration later through
+	// delta = p.Dot(s) = 0 on the zeroed direction product. -1, not NaN —
+	// NaN compares false against everything and would run the solve to
+	// maxIter. srStep inspects err after the solve and propagates it before
+	// any parameter update.
+	err error
 }
 
 func (f *distFisher) Dim() int { return f.ows.Dim }
+
+// fail records the first collective failure and poisons the operator
+// output: out is zeroed (garbage from a degraded reduction must not leak
+// NaNs into the CG vectors) and the returned -1 makes the solver bail.
+func (f *distFisher) fail(err error, out tensor.Vector) float64 {
+	if f.err == nil {
+		f.err = err
+	}
+	out.Fill(0)
+	return -1
+}
 
 func (f *distFisher) ApplyDot(v, out tensor.Vector) float64 {
 	// The local sweep writes straight into the packed collective buffer:
 	// [partial S-product | partial p.Ap scalar], one all-reduce total.
 	// This is the BLOCKING application the classic CG solve uses.
+	if f.err != nil {
+		return f.fail(f.err, out)
+	}
 	optimizer.FisherPartial(f.ows, v, f.pack.Buf(), f.tbuf, f.workers)
-	f.pack.AllReduce(f.cm)
+	if err := f.pack.AllReduce(f.cm); err != nil {
+		return f.fail(err, out)
+	}
 	if f.applies != nil {
 		*f.applies++
 	}
@@ -136,8 +163,13 @@ func (f *distFisher) ApplyDot(v, out tensor.Vector) float64 {
 // packed partials and the ring reduction is launched NON-blocking, so the
 // pipelined solve overlaps its recurrence updates with the in-flight
 // collective. The packed buffer is owned by the collective until
-// FinishApply.
+// FinishApply. On a failed operator the launch is skipped (handle nil);
+// FinishApply reports the bail.
 func (f *distFisher) StartApply(v tensor.Vector) {
+	if f.err != nil {
+		f.handle = nil
+		return
+	}
 	optimizer.FisherPartial(f.ows, v, f.pack.Buf(), f.tbuf, f.workers)
 	f.handle = f.pack.IAllReduce(f.cm)
 	if f.applies != nil {
@@ -147,10 +179,17 @@ func (f *distFisher) StartApply(v tensor.Vector) {
 
 // FinishApply waits for the reduction started by StartApply and assembles
 // the operator output from the globally reduced bytes — bit-identical on
-// every rank, exactly as the blocking path.
+// every rank, exactly as the blocking path. A reduction that failed in
+// flight bails the solve like ApplyDot does.
 func (f *distFisher) FinishApply(v, out tensor.Vector) float64 {
-	f.handle.Wait()
+	if f.handle == nil {
+		return f.fail(f.err, out)
+	}
+	err := f.handle.Wait()
 	f.handle = nil
+	if err != nil {
+		return f.fail(err, out)
+	}
 	return optimizer.FisherFinish(f.pack.Buf(), f.obar, v, out, f.lambda, f.batchN)
 }
 
@@ -221,6 +260,24 @@ type Trainer struct {
 	// fisherApplies counts distributed Fisher collectives (one per CG
 	// ApplyDot, every replica participating); written by rank 0 only.
 	fisherApplies int64
+	// link mirrors the group's simulated link so Recover can re-apply it to
+	// the rebuilt group (comm exposes no getter).
+	link comm.Link
+	// Recovery state (see recover.go). Step captures every replica's
+	// sampler stream position and SR solver state at entry — before any
+	// draw or collective — so a mid-step failure leaves a consistent rewind
+	// point: no rank commits a parameter update until after its last
+	// collective, so all survivors still hold the previous step's
+	// parameters and optimizer state, and only the consumed RNG draws and
+	// polluted SR warm starts need rewinding. notRecoverable (non-nil when
+	// a sampler is not Resumable or an optimizer not a StateCloner)
+	// disables snapshotting and Recover with a reason.
+	notRecoverable error
+	snapSmp        []sampler.State
+	snapSR         []optimizer.SRState
+	snapValid      bool
+	snapIter       int
+	failedIter     int
 }
 
 // New assembles a data-parallel trainer over the replicas. It validates
@@ -329,6 +386,18 @@ func New(h hamiltonian.Hamiltonian, reps []Replica, miniBatch int) (*Trainer, er
 		}
 		t.state[r] = st
 	}
+	for r, rep := range reps {
+		if _, ok := rep.Smp.(sampler.Resumable); !ok {
+			t.notRecoverable = fmt.Errorf("dist: replica %d sampler %T is not sampler.Resumable", r, rep.Smp)
+			break
+		}
+		if _, ok := rep.Opt.(optimizer.StateCloner); !ok {
+			t.notRecoverable = fmt.Errorf("dist: replica %d optimizer %s is not optimizer.StateCloner", r, rep.Opt.Name())
+			break
+		}
+	}
+	t.snapSmp = make([]sampler.State, len(reps))
+	t.snapSR = make([]optimizer.SRState, len(reps))
 	return t, nil
 }
 
@@ -366,19 +435,88 @@ func (t *Trainer) Traffic() (bytes, messages int64) {
 // SR.
 func (t *Trainer) FisherApplies() int64 { return t.fisherApplies }
 
-// Collectives reports rank 0's blocking-vs-non-blocking collective counts
-// (every rank issues the identical schedule, so rank 0 is the per-step
-// count, not a sum over replicas). With the classic SR solver every Fisher
-// collective is blocking; with the pipelined solver they all move to the
-// async side, leaving only the two pre-solve reductions blocking per step —
-// the latency-hiding the solver exists for, made countable.
-func (t *Trainer) Collectives() (sync, async int64) { return t.state[0].cm.Collectives() }
+// Collectives reports the blocking-vs-non-blocking collective counts SUMMED
+// over all ranks — not just rank 0's view, which silently under-reports
+// (and hides schedule divergence) the moment any rank issues a different
+// collective sequence. In a healthy run every rank issues the identical
+// schedule, so each total is exactly L times the per-rank count; the
+// CollectivesBalanced check pins that. With the classic SR solver every
+// Fisher collective is blocking; with the pipelined solver they all move to
+// the async side, leaving only the two pre-solve reductions blocking per
+// step — the latency-hiding the solver exists for, made countable.
+func (t *Trainer) Collectives() (sync, async int64) {
+	for _, st := range t.state {
+		s, a := st.cm.Collectives()
+		sync += s
+		async += a
+	}
+	return sync, async
+}
+
+// CollectivesByRank reports each rank's (blocking, non-blocking) collective
+// counts individually.
+func (t *Trainer) CollectivesByRank() [][2]int64 {
+	out := make([][2]int64, len(t.state))
+	for r, st := range t.state {
+		s, a := st.cm.Collectives()
+		out[r] = [2]int64{s, a}
+	}
+	return out
+}
+
+// CollectivesBalanced verifies the lockstep-schedule invariant: every rank
+// must have issued exactly the same number of blocking and non-blocking
+// collectives. A mismatch on a healthy trainer means a rank diverged from
+// the global collective schedule — the precursor of a deadlock.
+func (t *Trainer) CollectivesBalanced() error {
+	per := t.CollectivesByRank()
+	for r := 1; r < len(per); r++ {
+		if per[r] != per[0] {
+			return fmt.Errorf("dist: rank %d issued %d sync / %d async collectives, rank 0 issued %d / %d",
+				r, per[r][0], per[r][1], per[0][0], per[0][1])
+		}
+	}
+	return nil
+}
 
 // SetLink attaches a simulated alpha-beta link to the trainer's collective
 // group (see comm.Group.SetLink): every collective then costs the modeled
 // ring time in wall clock, so classic-vs-pipelined timing comparisons show
 // the latency that overlap hides. Call before training starts.
-func (t *Trainer) SetLink(l comm.Link) { t.group.SetLink(l) }
+func (t *Trainer) SetLink(l comm.Link) {
+	t.link = l
+	t.group.SetLink(l)
+}
+
+// SetCollectiveDeadline bounds every blocking point of every collective the
+// trainer issues (see comm.Group.SetDeadline): a replica that stops
+// participating makes every survivor's Step return an error wrapping
+// comm.ErrPeerLost within the deadline instead of hanging forever. Call
+// before training starts; Recover carries the deadline onto the rebuilt
+// group.
+func (t *Trainer) SetCollectiveDeadline(d time.Duration) { t.group.SetDeadline(d) }
+
+// InjectFailure scripts replica rank to die at its (after+1)-th collective
+// (see comm.Group.FailAt) — the test seam behind the failure-injection
+// matrix. Pair with SetCollectiveDeadline so survivors detect the death.
+func (t *Trainer) InjectFailure(rank, after int) { t.group.FailAt(rank, after) }
+
+// InjectStraggler scripts replica rank to sleep d before each collective it
+// initiates (see comm.Group.Delay).
+func (t *Trainer) InjectStraggler(rank int, d time.Duration) { t.group.Delay(rank, d) }
+
+// GroupErr returns the abort cause once the trainer's collective group has
+// been condemned, nil while it is healthy. After a non-nil GroupErr every
+// subsequent Step fails fast; Recover builds a replacement trainer.
+func (t *Trainer) GroupErr() error { return t.group.Err() }
+
+// DeadRanks lists the replicas whose injected failures have fired. Read it
+// only after a failed Step has returned.
+func (t *Trainer) DeadRanks() []int { return t.group.DeadRanks() }
+
+// FailedStep returns the iteration number of the Step that first returned
+// an error (0 if none has).
+func (t *Trainer) FailedStep() int { return t.failedIter }
 
 // CheckConsistent verifies that all replicas hold bit-identical parameter
 // vectors (exact ==, no tolerance). The synchronous update scheme preserves
@@ -426,8 +564,12 @@ func (s *stopwatch) lap(d *time.Duration) {
 }
 
 // replicaStep runs one replica's share of an iteration: sample, evaluate
-// local energies, form the gradient contribution, synchronize, update.
-func (t *Trainer) replicaStep(r int) {
+// local energies, form the gradient contribution, synchronize, update. A
+// non-nil error means a collective failed (peer lost, group aborted, or
+// this rank killed by fault injection); the replica commits NO state in
+// that case — the parameter update is the last action of the step and runs
+// only after every collective has succeeded.
+func (t *Trainer) replicaStep(r int) error {
 	rep, st := t.Reps[r], t.state[r]
 	sw := startWatch(r == 0)
 
@@ -453,8 +595,10 @@ func (t *Trainer) replicaStep(r int) {
 	sw.lap(&t.timings.Energy)
 
 	if t.sr {
-		t.srStep(rep, st, s, s2, &sw)
-		return
+		if err := t.srStep(rep, st, s, s2, &sw); err != nil {
+			return fmt.Errorf("dist: replica %d: %w", r, err)
+		}
+		return nil
 	}
 
 	// REINFORCE path: local covariance-style gradient (Eq. 5) with the
@@ -509,7 +653,9 @@ func (t *Trainer) replicaStep(r int) {
 	sw.lap(&t.timings.Grad)
 
 	// One ring all-reduce carries the gradient and the energy statistics.
-	st.cm.AllReduceSum(st.acc)
+	if err := st.cm.AllReduceSum(st.acc); err != nil {
+		return fmt.Errorf("dist: replica %d: gradient reduction: %w", r, err)
+	}
 	sw.lap(&t.timings.Sync)
 
 	// Average the summed gradient; every replica performs the identical
@@ -519,6 +665,7 @@ func (t *Trainer) replicaStep(r int) {
 	rep.Opt.Step(rep.Model.Params(), grad)
 	nn.InvalidateParams(rep.Model)
 	sw.lap(&t.timings.Update)
+	return nil
 }
 
 // srStep is the distributed stochastic-reconfiguration tail of an
@@ -534,9 +681,14 @@ func (t *Trainer) replicaStep(r int) {
 //
 // Every quantity entering the update is reduced to identical bytes first,
 // so the bit-identity invariant holds exactly as in the REINFORCE path.
-func (t *Trainer) srStep(rep Replica, st *replicaState, s, s2 float64, sw *stopwatch) {
+// A failed collective — including one inside the CG solve, surfaced through
+// the distFisher's sticky error — returns before the parameter update, so a
+// degraded step commits nothing.
+func (t *Trainer) srStep(rep Replica, st *replicaState, s, s2 float64, sw *stopwatch) error {
 	st.ebuf[0], st.ebuf[1] = s, s2
-	st.cm.AllReduceSum(st.ebuf)
+	if err := st.cm.AllReduceSum(st.ebuf); err != nil {
+		return fmt.Errorf("energy reduction: %w", err)
+	}
 	sw.lap(&t.timings.Sync)
 	mean := st.ebuf[0] / t.bf
 
@@ -559,7 +711,9 @@ func (t *Trainer) srStep(rep Replica, st *replicaState, s, s2 float64, sw *stopw
 	}
 	sw.lap(&t.timings.Grad)
 
-	st.gpack.AllReduce(st.cm)
+	if err := st.gpack.AllReduce(st.cm); err != nil {
+		return fmt.Errorf("gradient reduction: %w", err)
+	}
 	sw.lap(&t.timings.Sync)
 
 	// obar = (reduced O-row sum)/B, the same arithmetic NewBatchFisher
@@ -567,25 +721,59 @@ func (t *Trainer) srStep(rep Replica, st *replicaState, s, s2 float64, sw *stopw
 	copy(st.fisher.obar, osum)
 	st.fisher.obar.Scale(1 / t.bf)
 	delta := rep.SR.PreconditionOp(st.fisher, grad)
+	if err := st.fisher.err; err != nil {
+		// A mid-solve collective failed: the solver bailed on the poisoned
+		// operator (see distFisher.fail) and delta holds a partial iterate.
+		// Commit nothing — the SR warm start is rewound by recovery.
+		return fmt.Errorf("fisher solve: %w", err)
+	}
 	sw.lap(&t.timings.Precond)
 
 	rep.Opt.Step(rep.Model.Params(), delta)
 	nn.InvalidateParams(rep.Model)
 	sw.lap(&t.timings.Update)
+	return nil
 }
 
 // Step runs one synchronous data-parallel iteration and returns the global
 // batch statistics. iter is echoed into the returned record.
-func (t *Trainer) Step(iter int) core.IterStats {
+//
+// A non-nil error means the group degraded mid-step: at least one replica's
+// collective failed (peer lost within the SetCollectiveDeadline bound, rank
+// killed by fault injection, or explicit abort) and NO replica committed a
+// parameter update — steps are atomic because every collective is
+// all-to-all, so no rank can pass the failed collective while another is
+// stuck before it, and the update is strictly after the last collective.
+// The group is then condemned: further Steps fail fast with the original
+// cause, and Recover rebuilds a trainer that resumes bit-identically from
+// the pre-step state.
+func (t *Trainer) Step(iter int) (core.IterStats, error) {
+	if err := t.group.Err(); err != nil {
+		// Fail fast WITHOUT taking a new snapshot: the snapshot of the step
+		// that failed is the recovery point and must not be overwritten.
+		return core.IterStats{}, fmt.Errorf("dist: step %d on condemned group (Recover first): %w", iter, err)
+	}
+	t.snapshot(iter)
+	errs := make([]error, len(t.Reps))
 	var wg sync.WaitGroup
 	wg.Add(len(t.Reps))
 	for r := range t.Reps {
 		go func(r int) {
 			defer wg.Done()
-			t.replicaStep(r)
+			errs[r] = t.replicaStep(r)
 		}(r)
 	}
 	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		if t.failedIter == 0 {
+			t.failedIter = iter
+		}
+		// Condemn the group even if the failure never reached a deadline
+		// (e.g. the killed rank's own immediate error): every rank must see
+		// subsequent collectives fail fast.
+		t.group.Abort(err)
+		return core.IterStats{}, fmt.Errorf("dist: step %d failed: %w", iter, err)
+	}
 	// Every replica holds the same reduced payload; read replica 0.
 	st := t.state[0]
 	var mean, v float64
@@ -604,36 +792,66 @@ func (t *Trainer) Step(iter int) core.IterStats {
 		solve := t.Reps[0].SR.LastSolve()
 		out.SRIters, out.SRResidual = solve.Iterations, solve.Residual
 	}
-	return out
+	return out, nil
+}
+
+// snapshot captures every replica's sampler stream position and SR solver
+// state at step entry — the rewind point a mid-step failure recovers to.
+// It runs serially before the replica goroutines launch, so no capture
+// races a draw. No-op on trainers that cannot recover (see notRecoverable).
+func (t *Trainer) snapshot(iter int) {
+	if t.notRecoverable != nil {
+		return
+	}
+	for r, rep := range t.Reps {
+		t.snapSmp[r] = rep.Smp.(sampler.Resumable).Snapshot()
+		if rep.SR != nil {
+			t.snapSR[r] = rep.SR.CaptureState()
+		}
+	}
+	t.snapIter = iter
+	t.snapValid = true
 }
 
 // Train runs iters iterations, invoking cb (if non-nil) after each, and
 // returns the per-iteration history. Iterations are numbered from 1 as in
-// core.Trainer.
-func (t *Trainer) Train(iters int, cb func(core.IterStats)) []core.IterStats {
+// core.Trainer. On a failed step it returns the history of the completed
+// steps alongside the error; the failed step committed nothing (see Step)
+// and Recover can rebuild a trainer to finish the remaining iterations
+// bit-identically.
+func (t *Trainer) Train(iters int, cb func(core.IterStats)) ([]core.IterStats, error) {
 	hist := make([]core.IterStats, 0, iters)
 	for i := 1; i <= iters; i++ {
-		s := t.Step(i)
+		s, err := t.Step(i)
+		if err != nil {
+			return hist, err
+		}
 		hist = append(hist, s)
 		if cb != nil {
 			cb(s)
 		}
 	}
-	return hist
+	return hist, nil
 }
 
 // Evaluate draws a fresh global batch without updating parameters and
 // returns the mean and standard deviation of the local energy. The batch is
 // spread across replicas (each sampling from its own stream and evaluating
 // with its own workers), and the statistics are combined with the same ring
-// collective as training.
-func (t *Trainer) Evaluate(batch int) (mean, std float64) {
+// collective as training. Error semantics follow Step: a degraded group
+// makes every replica's collective return promptly and Evaluate reports the
+// cause.
+func (t *Trainer) Evaluate(batch int) (mean, std float64, err error) {
+	if gerr := t.group.Err(); gerr != nil {
+		return 0, 0, fmt.Errorf("dist: evaluate on condemned group (Recover first): %w", gerr)
+	}
 	if batch <= 0 {
 		batch = 1024
 	}
 	l := len(t.Reps)
 	// After the all-reduce every rank holds identical sums; keep rank 0's.
 	var reduced tensor.Vector
+	errs := make([]error, l)
 	var wg sync.WaitGroup
 	wg.Add(l)
 	for r := 0; r < l; r++ {
@@ -657,21 +875,28 @@ func (t *Trainer) Evaluate(batch int) (mean, std float64) {
 				}
 				acc[2] = float64(cnt)
 			}
-			t.state[r].cm.AllReduceSum(acc)
+			if rerr := t.state[r].cm.AllReduceSum(acc); rerr != nil {
+				errs[r] = fmt.Errorf("dist: replica %d: evaluate reduction: %w", r, rerr)
+				return
+			}
 			if r == 0 {
 				reduced = acc
 			}
 		}(r)
 	}
 	wg.Wait()
+	if jerr := errors.Join(errs...); jerr != nil {
+		t.group.Abort(jerr)
+		return 0, 0, jerr
+	}
 	acc := reduced
 	if acc[2] == 0 {
-		return 0, 0
+		return 0, 0, nil
 	}
 	mean = acc[0] / acc[2]
 	v := acc[1]/acc[2] - mean*mean
 	if v < 0 {
 		v = 0
 	}
-	return mean, math.Sqrt(v)
+	return mean, math.Sqrt(v), nil
 }

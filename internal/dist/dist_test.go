@@ -36,6 +36,35 @@ func buildTrainer(t testing.TB, n, h, L, mb int, initSeed, streamSeed uint64) *T
 	return tr
 }
 
+// mustStep, mustTrain and mustEval run the fault-free paths, failing the
+// test on any collective error — healthy trainers must never see one.
+func mustStep(t testing.TB, tr *Trainer, iter int) core.IterStats {
+	t.Helper()
+	s, err := tr.Step(iter)
+	if err != nil {
+		t.Fatalf("Step(%d): %v", iter, err)
+	}
+	return s
+}
+
+func mustTrain(t testing.TB, tr *Trainer, iters int) []core.IterStats {
+	t.Helper()
+	hist, err := tr.Train(iters, nil)
+	if err != nil {
+		t.Fatalf("Train(%d): %v", iters, err)
+	}
+	return hist
+}
+
+func mustEval(t testing.TB, tr *Trainer, batch int) (mean, std float64) {
+	t.Helper()
+	mean, std, err := tr.Evaluate(batch)
+	if err != nil {
+		t.Fatalf("Evaluate(%d): %v", batch, err)
+	}
+	return mean, std
+}
+
 // TestReplicaBitIdentity pins the package's core invariant: after every one
 // of 50 synchronous steps with L=4 replicas, all parameter vectors are
 // bit-identical (exact ==, no tolerance).
@@ -43,7 +72,7 @@ func TestReplicaBitIdentity(t *testing.T) {
 	const L = 4
 	tr := buildTrainer(t, 10, 14, L, 8, 3, 4)
 	for step := 1; step <= 50; step++ {
-		tr.Step(step)
+		mustStep(t, tr, step)
 		ref := tr.Reps[0].Model.Params()
 		for r := 1; r < L; r++ {
 			p := tr.Reps[r].Model.Params()
@@ -113,7 +142,7 @@ func TestSingleDeviceEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := tr.Train(iters, nil)
+	got := mustTrain(t, tr, iters)
 
 	if len(got) != len(want) {
 		t.Fatalf("trajectory length %d, want %d", len(got), len(want))
@@ -138,7 +167,7 @@ func TestSingleDeviceEquivalence(t *testing.T) {
 // lower the energy from its initial value.
 func TestTrainImprovesEnergy(t *testing.T) {
 	tr := buildTrainer(t, 8, 12, 4, 16, 11, 12)
-	hist := tr.Train(80, nil)
+	hist := mustTrain(t, tr, 80)
 	if len(hist) != 80 {
 		t.Fatalf("history length %d", len(hist))
 	}
@@ -161,8 +190,8 @@ func TestTrainImprovesEnergy(t *testing.T) {
 // must still join the collective).
 func TestEvaluate(t *testing.T) {
 	tr := buildTrainer(t, 8, 12, 4, 8, 13, 14)
-	tr.Train(30, nil)
-	mean, std := tr.Evaluate(256)
+	mustTrain(t, tr, 30)
+	mean, std := mustEval(t, tr, 256)
 	if math.IsNaN(mean) || math.IsNaN(std) || std < 0 {
 		t.Fatalf("bad evaluation: mean=%v std=%v", mean, std)
 	}
@@ -170,7 +199,7 @@ func TestEvaluate(t *testing.T) {
 	if mean >= 0 {
 		t.Fatalf("trained TIM energy %v should be negative", mean)
 	}
-	m2, s2 := tr.Evaluate(3) // fewer samples than the 4 replicas
+	m2, s2 := mustEval(t, tr, 3) // fewer samples than the 4 replicas
 	if math.IsNaN(m2) || math.IsNaN(s2) {
 		t.Fatalf("tiny batch evaluation: mean=%v std=%v", m2, s2)
 	}
@@ -228,7 +257,7 @@ func TestNewValidation(t *testing.T) {
 func TestTrafficAccounting(t *testing.T) {
 	const L, steps = 4, 10
 	tr := buildTrainer(t, 8, 12, L, 8, 15, 16)
-	tr.Train(steps, nil)
+	mustTrain(t, tr, steps)
 	bytes, msgs := tr.Traffic()
 	if msgs != int64(L*2*(L-1)*steps) {
 		t.Fatalf("messages = %d, want %d", msgs, L*2*(L-1)*steps)

@@ -104,7 +104,7 @@ func TestPipelinedDistSRMatchesSerial(t *testing.T) {
 			t.Fatalf("L=%d does not divide B=%d", L, B)
 		}
 		tr := buildPipelinedSRPlayback(t, tim, rec, n, h, L, mb)
-		hist := tr.Train(steps, nil)
+		hist := mustTrain(t, tr, steps)
 		if err := tr.CheckConsistent(); err != nil {
 			t.Fatalf("L=%d: replicas diverged: %v", L, err)
 		}
@@ -131,10 +131,14 @@ func TestPipelinedDistSRMatchesSerial(t *testing.T) {
 			}
 		}
 		// Every Fisher collective of the solve must be non-blocking: per
-		// step only the energy and gradient reductions block.
+		// step only the energy and gradient reductions block — on EVERY rank,
+		// so the rank-summed count is exactly L x 2 x steps.
 		sync, async := tr.Collectives()
-		if want := int64(2 * steps); sync != want {
+		if want := int64(L * 2 * steps); sync != want {
 			t.Fatalf("L=%d: %d blocking collectives, want %d (pipelined solve must not block)", L, sync, want)
+		}
+		if err := tr.CollectivesBalanced(); err != nil {
+			t.Fatalf("L=%d: %v", L, err)
 		}
 		if L > 1 && async == 0 {
 			t.Fatalf("L=%d: no non-blocking collectives counted", L)
@@ -166,7 +170,7 @@ func TestPipelinedDistSRComparisonHasTeeth(t *testing.T) {
 	row[2] ^= 1
 
 	tr := buildPipelinedSRPlayback(t, tim, corrupt, n, h, L, B/L)
-	tr.Train(steps, nil)
+	mustTrain(t, tr, steps)
 	if err := tr.CheckConsistent(); err != nil {
 		// Different data must not break replica consistency — it enters
 		// through the collectives, identically on every rank.
@@ -212,7 +216,7 @@ func TestTwoLevelPipelinedSRRace(t *testing.T) {
 	const n, h, mb, steps = 8, 10, 12, 20
 	tim := hamiltonian.RandomTIM(n, rng.New(31))
 	tr := buildPipelinedSRTrainer(t, tim, n, h, mb, []int{4, 4, 4}, 32, 33)
-	hist := tr.Train(steps, nil)
+	hist := mustTrain(t, tr, steps)
 	if len(hist) != steps {
 		t.Fatalf("history length %d", len(hist))
 	}
@@ -236,10 +240,10 @@ func TestPipelinedWorkerCountInvariance(t *testing.T) {
 	tim := hamiltonian.RandomTIM(n, rng.New(41))
 
 	serial := buildPipelinedSRTrainer(t, tim, n, h, mb, []int{1, 1, 1}, 42, 43)
-	serialHist := serial.Train(steps, nil)
+	serialHist := mustTrain(t, serial, steps)
 
 	hetero := buildPipelinedSRTrainer(t, tim, n, h, mb, []int{1, 2, 5}, 42, 43)
-	heteroHist := hetero.Train(steps, nil)
+	heteroHist := mustTrain(t, hetero, steps)
 
 	if err := hetero.CheckConsistent(); err != nil {
 		t.Fatalf("heterogeneous workers broke replica bit-identity: %v", err)
@@ -296,7 +300,7 @@ func auditPipelinedTrajectoryTIM7(tb testing.TB) {
 	tim := hamiltonian.RandomTIM(n, rng.New(51))
 	mRef, refHist, rec := runSerialSRRef(tb, tim, n, h, B, steps, tightSR())
 	tr := buildPipelinedSRPlayback(tb, tim, rec, n, h, L, B/L)
-	hist := tr.Train(steps, nil)
+	hist := mustTrain(tb, tr, steps)
 	if err := tr.CheckConsistent(); err != nil {
 		tb.Fatalf("replicas diverged: %v", err)
 	}
@@ -326,11 +330,11 @@ func TestPipelinedSRConvergesTIM7(t *testing.T) {
 		t.Fatal(err)
 	}
 	tr := buildPipelinedSRTrainer(t, tim, n, h, mb, []int{4, 4, 4, 4}, 52, 53)
-	tr.Train(steps, nil)
+	mustTrain(t, tr, steps)
 	if err := tr.CheckConsistent(); err != nil {
 		t.Fatalf("replicas diverged after %d pipelined SR steps: %v", steps, err)
 	}
-	mean, _ := tr.Evaluate(1024)
+	mean, _ := mustEval(t, tr, 1024)
 	gap := (mean - res.Energy) / math.Abs(res.Energy)
 	if gap > 0.15 {
 		t.Fatalf("pipelined SR energy %v vs exact %v (gap %.3f > 0.15)", mean, res.Energy, gap)
@@ -356,7 +360,7 @@ func BenchmarkPipelinedSR(b *testing.B) {
 	const n, h, L, mb, steps = 12, 16, 4, 8, 3
 	tim := hamiltonian.RandomTIM(n, rng.New(61))
 	classic := buildSRTrainer(b, tim, n, h, mb, []int{2, 2, 2, 2}, 62, 63)
-	classicHist := classic.Train(steps, nil)
+	classicHist := mustTrain(b, classic, steps)
 	syncC, asyncC := classic.Collectives()
 	var itersC int64
 	for _, s := range classicHist {
@@ -365,25 +369,25 @@ func BenchmarkPipelinedSR(b *testing.B) {
 	if asyncC != 0 {
 		b.Fatalf("classic solver issued %d non-blocking collectives", asyncC)
 	}
-	if want := 2*steps + classic.FisherApplies(); syncC != want {
-		b.Fatalf("classic blocking collectives %d, want %d (2 pre-solve + 1 per CG apply)", syncC, want)
+	if want := L * (2*steps + classic.FisherApplies()); syncC != want {
+		b.Fatalf("classic blocking collectives %d, want %d (L x (2 pre-solve + 1 per CG apply))", syncC, want)
 	}
 	if want := itersC + steps; classic.FisherApplies() != want {
 		b.Fatalf("classic Fisher applies %d, want %d (one per iteration + the initial residual)", classic.FisherApplies(), want)
 	}
 
 	pipe := buildPipelinedSRTrainer(b, tim, n, h, mb, []int{2, 2, 2, 2}, 62, 63)
-	pipeHist := pipe.Train(steps, nil)
+	pipeHist := mustTrain(b, pipe, steps)
 	syncP, asyncP := pipe.Collectives()
 	var itersP int64
 	for _, s := range pipeHist {
 		itersP += int64(s.SRIters)
 	}
-	if syncP != 2*steps {
-		b.Fatalf("pipelined blocking collectives %d, want %d: the solve itself must block on none", syncP, 2*steps)
+	if syncP != L*2*steps {
+		b.Fatalf("pipelined blocking collectives %d, want %d: the solve itself must block on none", syncP, L*2*steps)
 	}
-	if want := itersP + 2*steps; asyncP != want || pipe.FisherApplies() != want {
-		b.Fatalf("pipelined async collectives %d (applies %d), want %d (iters+2 per solve)",
+	if want := itersP + 2*steps; asyncP != L*want || pipe.FisherApplies() != want {
+		b.Fatalf("pipelined async collectives %d (applies %d), want %d x L (iters+2 per solve)",
 			asyncP, pipe.FisherApplies(), want)
 	}
 	bytesC, _ := classic.Traffic()
@@ -397,6 +401,8 @@ func BenchmarkPipelinedSR(b *testing.B) {
 	pipe.SetLink(comm.Link{Latency: 200 * time.Microsecond})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		pipe.Step(i)
+		if _, err := pipe.Step(i); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -130,7 +130,7 @@ func TestDistSRMatchesSerial(t *testing.T) {
 			t.Fatalf("L=%d does not divide B=%d", L, B)
 		}
 		tr := buildSRPlayback(t, tim, rec, n, h, L, mb)
-		hist := tr.Train(steps, nil)
+		hist := mustTrain(t, tr, steps)
 		if err := tr.CheckConsistent(); err != nil {
 			t.Fatalf("L=%d: replicas diverged: %v", L, err)
 		}
@@ -190,7 +190,7 @@ func TestDistSRComparisonHasTeeth(t *testing.T) {
 	row[2] ^= 1
 
 	tr := buildSRPlayback(t, tim, corrupt, n, h, L, B/L)
-	tr.Train(steps, nil)
+	mustTrain(t, tr, steps)
 	if err := tr.CheckConsistent(); err != nil {
 		// Different data must not break replica consistency — it enters
 		// through the collectives, identically on every rank.
@@ -234,7 +234,7 @@ func TestTwoLevelSRRace(t *testing.T) {
 	const n, h, mb, steps = 8, 10, 12, 20
 	tim := hamiltonian.RandomTIM(n, rng.New(31))
 	tr := buildSRTrainer(t, tim, n, h, mb, []int{4, 4, 4}, 32, 33)
-	hist := tr.Train(steps, nil)
+	hist := mustTrain(t, tr, steps)
 	if len(hist) != steps {
 		t.Fatalf("history length %d", len(hist))
 	}
@@ -260,10 +260,10 @@ func TestWorkerCountInvariance(t *testing.T) {
 	tim := hamiltonian.RandomTIM(n, rng.New(41))
 
 	serial := buildSRTrainer(t, tim, n, h, mb, []int{1, 1, 1}, 42, 43)
-	serialHist := serial.Train(steps, nil)
+	serialHist := mustTrain(t, serial, steps)
 
 	hetero := buildSRTrainer(t, tim, n, h, mb, []int{1, 2, 5}, 42, 43)
-	heteroHist := hetero.Train(steps, nil)
+	heteroHist := mustTrain(t, hetero, steps)
 
 	if err := hetero.CheckConsistent(); err != nil {
 		t.Fatalf("heterogeneous workers broke replica bit-identity: %v", err)
@@ -289,11 +289,11 @@ func TestDistSRConvergesTIM7(t *testing.T) {
 		t.Fatal(err)
 	}
 	tr := buildSRTrainer(t, tim, n, h, mb, []int{4, 4, 4, 4}, 52, 53)
-	tr.Train(steps, nil)
+	mustTrain(t, tr, steps)
 	if err := tr.CheckConsistent(); err != nil {
 		t.Fatalf("replicas diverged after %d SR steps: %v", steps, err)
 	}
-	mean, _ := tr.Evaluate(1024)
+	mean, _ := mustEval(t, tr, 1024)
 	gap := (mean - res.Energy) / math.Abs(res.Energy)
 	if gap > 0.15 {
 		t.Fatalf("distributed SR energy %v vs exact %v (gap %.3f > 0.15)", mean, res.Energy, gap)

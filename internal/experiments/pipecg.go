@@ -60,7 +60,10 @@ func PipeCG(p Preset, out io.Writer, csvDir string) error {
 				}
 				tr.SetLink(pipeLink)
 				start := time.Now()
-				hist := tr.Train(iters, nil)
+				hist, err := tr.Train(iters, nil)
+				if err != nil {
+					return err
+				}
 				elapsed := time.Since(start)
 				sync, async := tr.Collectives()
 				bytes, _ := tr.Traffic()

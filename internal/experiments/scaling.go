@@ -123,7 +123,10 @@ func DistSR(p Preset, out io.Writer, csvDir string) error {
 			if err != nil {
 				return err
 			}
-			hist := tr.Train(p.Iters, nil)
+			hist, err := tr.Train(p.Iters, nil)
+			if err != nil {
+				return err
+			}
 			var cg float64
 			for _, s := range hist {
 				cg += float64(s.SRIters)
@@ -168,7 +171,10 @@ func Figure4(p Preset, out io.Writer, csvDir string) error {
 			if err != nil {
 				return err
 			}
-			hist := tr.Train(p.Iters, nil)
+			hist, err := tr.Train(p.Iters, nil)
+			if err != nil {
+				return err
+			}
 			// Average the final quarter to damp small-batch noise.
 			q := len(hist) / 4
 			var e float64
@@ -245,7 +251,10 @@ func Table6(p Preset, out io.Writer, csvDir string) error {
 			if err != nil {
 				return err
 			}
-			hist := tr.Train(p.Iters, nil)
+			hist, err := tr.Train(p.Iters, nil)
+			if err != nil {
+				return err
+			}
 			q := len(hist) / 4
 			var e float64
 			for _, s := range hist[len(hist)-q:] {

@@ -169,7 +169,14 @@ func TestPipelinedCGDistributedDots(t *testing.T) {
 				}
 			}
 			reduce := func(vals []float64) func() {
-				return dc.IAllReduceSum(vals).Wait
+				// Wait now reports collective errors; no faults are injected
+				// here, so an error would be a harness bug worth crashing on.
+				wait := dc.IAllReduceSum(vals).Wait
+				return func() {
+					if err := wait(); err != nil {
+						panic(err)
+					}
+				}
 			}
 			res := PipelinedCG(mv, localB, localX, 1e-12, 10*n, reduce)
 			results[rank] = localX

@@ -152,7 +152,12 @@ func (sm *ShardedMADE) Forward(x []int, z2 tensor.Vector) {
 				copy(p, sm.B2) // exactly one shard contributes the bias
 			}
 			sm.Shards[s].forwardShard(xf, p)
-			sm.group.Rank(s).AllReduceSum(p)
+			if err := sm.group.Rank(s).AllReduceSum(p); err != nil {
+				// The sharded model owns its private group and never attaches
+				// a deadline or fault script, so a collective error here means
+				// the harness itself is broken — fail loudly, not silently.
+				panic(err)
+			}
 			partials[s] = p
 		}(s)
 	}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 
 	"github.com/vqmc-scale/parvqmc/internal/rng"
 )
@@ -82,8 +83,26 @@ func LoadWavefunction(r io.Reader) (Wavefunction, error) {
 		}
 	}
 	n, h, d := int(n32), int(h32), int(d32)
-	if n < 1 || h < 1 || d < 1 || d > 1<<31 {
+	if n < 1 || h < 1 || d < 1 {
 		return nil, fmt.Errorf("nn: corrupt checkpoint header (n=%d h=%d d=%d)", n, h, d)
+	}
+	// Validate the header against the architecture's derived parameter
+	// count BEFORE constructing the model: the O(n*h) mask and weight
+	// allocations must never run on attacker-or-corruption-controlled
+	// dimensions that the payload cannot back up. The arithmetic is done in
+	// int64 so absurd n/h cannot overflow the check itself.
+	want, err := expectedParamCount(kind, n, h)
+	if err != nil {
+		return nil, err
+	}
+	if int64(d) != want {
+		return nil, fmt.Errorf("nn: checkpoint header says %d params, kind %d with n=%d h=%d needs %d",
+			d, kind, n, h, want)
+	}
+	const maxParams = 1 << 28 // ~2 GiB of float64s; far beyond any real model
+	if want > maxParams {
+		return nil, fmt.Errorf("nn: checkpoint dims n=%d h=%d imply %d params, over the %d cap",
+			n, h, want, int64(maxParams))
 	}
 	// Construct with an arbitrary seed; every parameter is overwritten by
 	// the checkpoint payload (masks are deterministic in (n, h)).
@@ -93,8 +112,6 @@ func LoadWavefunction(r io.Reader) (Wavefunction, error) {
 		wf = NewMADE(n, h, rng.New(0))
 	case kindRBM:
 		wf = NewRBM(n, h, rng.New(0))
-	default:
-		return nil, fmt.Errorf("nn: unknown checkpoint kind %d", kind)
 	}
 	params := wf.Params()
 	if len(params) != d {
@@ -111,17 +128,55 @@ func LoadWavefunction(r io.Reader) (Wavefunction, error) {
 	return wf, nil
 }
 
-// SaveFile and LoadFile are path-based conveniences.
+// expectedParamCount returns the flat parameter count a (kind, n, h)
+// architecture derives to, in int64 so huge headers cannot overflow the
+// validation arithmetic. It rejects unknown kinds.
+func expectedParamCount(kind byte, n, h int) (int64, error) {
+	N, H := int64(n), int64(h)
+	switch kind {
+	case kindMADE:
+		// W1 (h x n) + b1 (h) + W2 (n x h) + b2 (n); see NewMADE.
+		return 2*H*N + H + N, nil
+	case kindRBM:
+		// W (h x n) + A (n) + C (h) + scale; see NewRBM.
+		return H*N + N + H + 1, nil
+	default:
+		return 0, fmt.Errorf("nn: unknown checkpoint kind %d", kind)
+	}
+}
+
+// SaveFile writes a checkpoint to path atomically: the bytes go to a
+// temporary file in the same directory, are fsynced, and replace path with
+// a rename. A crash mid-write (or mid-failure-recovery, which leans on
+// checkpoints being trustworthy) therefore leaves either the old complete
+// file or the new complete file — never a truncated hybrid.
 func SaveFile(path string, wf Wavefunction) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
-	if err := SaveWavefunction(f, wf); err != nil {
+	tmp := f.Name()
+	cleanup := func(err error) error {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := SaveWavefunction(f, wf); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // LoadFile loads a checkpoint from a file.

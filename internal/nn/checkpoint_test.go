@@ -2,6 +2,8 @@ package nn
 
 import (
 	"bytes"
+	"encoding/binary"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -110,3 +112,152 @@ func (fakeWavefunction) NumParams() int                      { return 1 }
 func (fakeWavefunction) Params() tensor.Vector               { return tensor.Vector{0} }
 func (fakeWavefunction) LogPsi(x []int) float64              { return 0 }
 func (fakeWavefunction) GradLogPsi(x []int, g tensor.Vector) {}
+
+// header builds a raw checkpoint header (magic, kind, n, h, d) followed by
+// payload float64 zeros, for the corrupt-header table.
+func header(magic string, kind byte, n, h, d uint32, payloadFloats int) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	buf.WriteByte(kind)
+	for _, v := range []uint32{n, h, d} {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		buf.Write(b[:])
+	}
+	buf.Write(make([]byte, 8*payloadFloats))
+	return buf.Bytes()
+}
+
+// TestCheckpointCorruptHeaders is the hardening table: every corrupt header
+// must be rejected with an error BEFORE the O(n*h) model allocation — in
+// particular the absurd-dims rows would OOM the test process if validation
+// ran after construction.
+func TestCheckpointCorruptHeaders(t *testing.T) {
+	// MADE(4,3): d = 2*3*4 + 3 + 4 = 31. RBM(4,3): d = 3*4 + 4 + 3 + 1 = 20.
+	cases := []struct {
+		name string
+		raw  []byte
+	}{
+		{"bad magic", header("PVQ2", 1, 4, 3, 31, 31)},
+		{"bad kind", header("PVQ1", 9, 4, 3, 31, 31)},
+		{"kind zero", header("PVQ1", 0, 4, 3, 31, 31)},
+		{"truncated payload", header("PVQ1", 1, 4, 3, 31, 30)},
+		{"truncated header", header("PVQ1", 1, 4, 3, 31, 31)[:9]},
+		{"zero sites", header("PVQ1", 1, 0, 3, 3, 3)},
+		{"zero hidden", header("PVQ1", 2, 4, 0, 5, 5)},
+		{"param count mismatch MADE", header("PVQ1", 1, 4, 3, 30, 30)},
+		{"param count mismatch RBM", header("PVQ1", 2, 4, 3, 31, 31)},
+		// 2*(2^31-1)*(2^31-1) params claimed: must fail the derived-count
+		// check in int64 arithmetic without ever allocating.
+		{"absurd dims MADE", header("PVQ1", 1, 1<<31 - 1, 1<<31 - 1, 1<<31 - 1, 0)},
+		{"absurd dims RBM", header("PVQ1", 2, 1<<31 - 1, 1<<31 - 1, 1<<31 - 1, 0)},
+		// Dims whose derived count is internally consistent but past the
+		// plausibility cap (MADE 2^14 x 2^14: d = 2*2^28 + 2^15 > 2^28).
+		{"over cap consistent MADE", header("PVQ1", 1, 1<<14, 1<<14, 0, 0)},
+	}
+	// Make the over-cap row's d header-consistent so only the cap rejects it.
+	want, err := expectedParamCount(kindMADE, 1<<14, 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want <= 1<<28 || want > 1<<32-1 {
+		t.Fatalf("over-cap row needs 2^28 < d < 2^32, got %d", want)
+	}
+	// d sits at byte 13: magic (4) + kind (1) + n (4) + h (4).
+	binary.LittleEndian.PutUint32(cases[len(cases)-1].raw[13:], uint32(want))
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wf, err := LoadWavefunction(bytes.NewReader(tc.raw))
+			if err == nil {
+				t.Fatalf("corrupt checkpoint accepted, loaded %T", wf)
+			}
+		})
+	}
+}
+
+// TestSaveFileAtomic: overwriting an existing checkpoint must leave either
+// the old or the new complete file, and no temp droppings on success or on
+// failure.
+func TestSaveFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.pvq")
+	old := NewMADE(5, 4, rng.New(6))
+	if err := SaveFile(path, old); err != nil {
+		t.Fatal(err)
+	}
+	nu := NewMADE(5, 4, rng.New(7))
+	if err := SaveFile(path, nu); err != nil {
+		t.Fatal(err)
+	}
+	wf, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []int{1, 0, 1, 1, 0}
+	if wf.LogPsi(x) != nu.LogPsi(x) {
+		t.Fatal("overwrite did not land the new model")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "model.pvq" {
+		names := make([]string, len(ents))
+		for i, e := range ents {
+			names[i] = e.Name()
+		}
+		t.Fatalf("temp droppings left behind: %v", names)
+	}
+}
+
+// TestSaveFileFailureLeavesOldCheckpoint: a failing save (unserializable
+// model) must not clobber or remove the existing good checkpoint.
+func TestSaveFileFailureLeavesOldCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.pvq")
+	good := NewRBM(4, 3, rng.New(8))
+	if err := SaveFile(path, good); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveFile(path, fakeWavefunction{}); err == nil {
+		t.Fatal("unserializable model saved without error")
+	}
+	wf, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("old checkpoint destroyed by failed save: %v", err)
+	}
+	x := []int{0, 1, 1, 0}
+	if wf.LogPsi(x) != good.LogPsi(x) {
+		t.Fatal("old checkpoint corrupted by failed save")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("failed save left %d entries in dir, want 1", len(ents))
+	}
+}
+
+// TestSaveFileRelativePath: the temp file must be created next to the
+// target even for a bare relative filename (filepath.Dir gives ".", not "",
+// which would silently fall back to the system temp dir and break the
+// same-filesystem rename guarantee).
+func TestSaveFileRelativePath(t *testing.T) {
+	dir := t.TempDir()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(cwd)
+	m := NewMADE(4, 3, rng.New(9))
+	if err := SaveFile("bare.pvq", m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile("bare.pvq"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,209 @@
+package optimizer
+
+import (
+	"testing"
+
+	"github.com/vqmc-scale/parvqmc/internal/rng"
+	"github.com/vqmc-scale/parvqmc/internal/tensor"
+)
+
+// driveSteps applies a deterministic pseudo-random gradient sequence.
+func driveSteps(o Optimizer, params tensor.Vector, seed uint64, steps int) {
+	r := rng.New(seed)
+	g := tensor.NewVector(len(params))
+	for s := 0; s < steps; s++ {
+		r.FillNorm(g, 1)
+		o.Step(params, g)
+	}
+}
+
+func vectorsEqual(a, b tensor.Vector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// cloneMatchesOriginal checks the StateCloner contract: after warm-up, the
+// clone must track the original bit-for-bit under further identical steps,
+// and must not share storage with it.
+func cloneMatchesOriginal(t *testing.T, o StateCloner, d int) {
+	t.Helper()
+	pOrig := tensor.NewVector(d)
+	driveSteps(o, pOrig, 11, 7) // build up internal state
+	clone := o.CloneState()
+	pClone := append(tensor.Vector(nil), pOrig...)
+	driveSteps(o, pOrig, 12, 5)
+	driveSteps(clone, pClone, 12, 5)
+	if !vectorsEqual(pOrig, pClone) {
+		t.Fatal("clone diverged from original under identical gradients")
+	}
+	// Storage independence: stepping only the original must leave the clone's
+	// trajectory unchanged.
+	snapshot := append(tensor.Vector(nil), pClone...)
+	driveSteps(o, pOrig, 13, 3)
+	driveSteps(clone, pClone, 12, 0) // no-op; clone state must be untouched
+	if !vectorsEqual(pClone, snapshot) {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestSGDCloneState(t *testing.T) {
+	s := NewSGD(0.1)
+	s.Momentum = 0.9
+	cloneMatchesOriginal(t, s, 17)
+}
+
+func TestSGDCloneStateCold(t *testing.T) {
+	// Clone before any step: both start cold and must still agree.
+	s := NewSGD(0.05)
+	clone := s.CloneState()
+	pA, pB := tensor.NewVector(9), tensor.NewVector(9)
+	driveSteps(s, pA, 3, 4)
+	driveSteps(clone, pB, 3, 4)
+	if !vectorsEqual(pA, pB) {
+		t.Fatal("cold clone diverged")
+	}
+}
+
+func TestAdamCloneState(t *testing.T) {
+	cloneMatchesOriginal(t, NewAdam(0.01), 17)
+}
+
+// TestAdamCloneStepCounter: the bias-correction counter must survive the
+// clone — a reset counter changes the very first post-clone update.
+func TestAdamCloneStepCounter(t *testing.T) {
+	a := NewAdam(0.01)
+	p := tensor.NewVector(5)
+	driveSteps(a, p, 21, 10)
+	clone := a.CloneState().(*Adam)
+	if clone.t != a.t {
+		t.Fatalf("clone step counter %d, want %d", clone.t, a.t)
+	}
+}
+
+func TestCloneOptimizerStateRejectsUnknown(t *testing.T) {
+	if _, err := CloneOptimizerState(fakeOpt{}); err == nil {
+		t.Fatal("unknown optimizer cloned without error")
+	}
+	if o, err := CloneOptimizerState(NewSGD(0.1)); err != nil || o == nil {
+		t.Fatalf("SGD clone failed: %v", err)
+	}
+}
+
+type fakeOpt struct{}
+
+func (fakeOpt) Step(params, grad tensor.Vector) {}
+func (fakeOpt) Name() string                    { return "fake" }
+
+// TestSRCaptureRestore: after a warm-up solve, capture; run more solves;
+// restore; the replayed solves must produce bit-identical deltas.
+func TestSRCaptureRestore(t *testing.T) {
+	const d, n = 8, 32
+	r := rng.New(31)
+	mkBatch := func() *tensor.Batch {
+		b := tensor.NewBatch(n, d)
+		r.FillNorm(b.Data, 1)
+		return b
+	}
+	s := NewSR(1e-3)
+	g := tensor.NewVector(d)
+	r.FillNorm(g, 1)
+	s.Precondition(mkBatch(), g) // warm the solver
+	snap := s.CaptureState()
+
+	batches := []*tensor.Batch{mkBatch(), mkBatch()}
+	grads := make([]tensor.Vector, 2)
+	ref := make([]tensor.Vector, 2)
+	for i := range ref {
+		grads[i] = tensor.NewVector(d)
+		r.FillNorm(grads[i], 1)
+		ref[i] = append(tensor.Vector(nil), s.Precondition(batches[i], grads[i])...)
+	}
+	refLast := s.LastSolve()
+
+	s.RestoreState(snap)
+	for i := range ref {
+		got := s.Precondition(batches[i], grads[i])
+		if !vectorsEqual(got, ref[i]) {
+			t.Fatalf("solve %d after restore diverged", i)
+		}
+	}
+	if s.LastSolve() != refLast {
+		t.Fatal("solve statistics diverged after restore")
+	}
+}
+
+// TestSRRestoreOntoClone: the recovery path — a fresh Clone() (cold state)
+// plus RestoreState must behave exactly like the original SR.
+func TestSRRestoreOntoClone(t *testing.T) {
+	const d, n = 6, 24
+	r := rng.New(37)
+	b := tensor.NewBatch(n, d)
+	r.FillNorm(b.Data, 1)
+	g := tensor.NewVector(d)
+	r.FillNorm(g, 1)
+
+	orig := NewSR(1e-3)
+	orig.Precondition(b, g)
+	snap := orig.CaptureState()
+
+	repl := orig.Clone()
+	repl.RestoreState(snap)
+
+	b2 := tensor.NewBatch(n, d)
+	r.FillNorm(b2.Data, 1)
+	g2 := tensor.NewVector(d)
+	r.FillNorm(g2, 1)
+	want := append(tensor.Vector(nil), orig.Precondition(b2, g2)...)
+	got := repl.Precondition(b2, g2)
+	if !vectorsEqual(got, want) {
+		t.Fatal("restored clone diverged from original")
+	}
+}
+
+// TestSRCaptureIsDeepCopy: mutating the solver after capture must not
+// corrupt the snapshot.
+func TestSRCaptureIsDeepCopy(t *testing.T) {
+	const d, n = 5, 16
+	r := rng.New(41)
+	b := tensor.NewBatch(n, d)
+	r.FillNorm(b.Data, 1)
+	g := tensor.NewVector(d)
+	r.FillNorm(g, 1)
+	s := NewSR(1e-3)
+	s.Precondition(b, g)
+	snap := s.CaptureState()
+	saved := append(tensor.Vector(nil), snap.Delta...)
+	s.Precondition(b, g) // mutates s.delta in place
+	if !vectorsEqual(snap.Delta, saved) {
+		t.Fatal("capture aliased the live warm-start vector")
+	}
+}
+
+// TestSRColdCapture: capturing a never-run solver and restoring it must
+// reproduce the cold-start behavior (nil delta).
+func TestSRColdCapture(t *testing.T) {
+	s := NewSR(1e-3)
+	snap := s.CaptureState()
+	if snap.Delta != nil {
+		t.Fatal("cold capture has a delta")
+	}
+	const d, n = 4, 8
+	r := rng.New(43)
+	b := tensor.NewBatch(n, d)
+	r.FillNorm(b.Data, 1)
+	g := tensor.NewVector(d)
+	r.FillNorm(g, 1)
+	want := append(tensor.Vector(nil), s.Precondition(b, g)...)
+	s.RestoreState(snap)
+	got := s.Precondition(b, g)
+	if !vectorsEqual(got, want) {
+		t.Fatal("cold restore diverged from cold start")
+	}
+}

@@ -170,3 +170,34 @@ func (r *Rand) FillNorm(dst []float64, sigma float64) {
 		dst[i] = sigma * r.Norm()
 	}
 }
+
+// State is a snapshot of a generator's exact stream position: the four
+// xoshiro256** state words plus the Box-Muller cache. Capturing and later
+// restoring it replays the stream bit-identically, which is what lets a
+// recovered replica resume a failed rank's random-number stream at the
+// precise draw where a checkpoint was taken.
+type State struct {
+	S [4]uint64
+	// Box-Muller cache: whether a second normal variate is pending, and its
+	// value. Without these, a restore placed between the two halves of a
+	// Box-Muller pair would desynchronize every subsequent normal draw.
+	NormCached bool
+	NormVal    float64
+}
+
+// State captures the generator's current stream position.
+func (r *Rand) State() State {
+	return State{
+		S:          [4]uint64{r.s0, r.s1, r.s2, r.s3},
+		NormCached: r.normCached,
+		NormVal:    r.normVal,
+	}
+}
+
+// SetState restores a previously captured stream position; subsequent draws
+// are bit-identical to those after the capture.
+func (r *Rand) SetState(s State) {
+	r.s0, r.s1, r.s2, r.s3 = s.S[0], s.S[1], s.S[2], s.S[3]
+	r.normCached = s.NormCached
+	r.normVal = s.NormVal
+}

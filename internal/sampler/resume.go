@@ -1,0 +1,125 @@
+package sampler
+
+// Resumable sampling: samplers that can capture and restore their complete
+// stream position. This is the sampler half of the recovery doctrine (see
+// docs/ARCHITECTURE.md, "Failure model"): a replica rebuilt from a
+// checkpoint is only bit-identical to the lost one if its sampler resumes
+// the exact RNG draw — and, for Markov samplers, the exact chain state —
+// where the failed rank stood when the checkpoint's step began.
+
+import (
+	"fmt"
+
+	"github.com/vqmc-scale/parvqmc/internal/rng"
+)
+
+// State is a sampler's complete stream position: one RNG state per worker
+// or chain, plus (for Markov samplers) the persistent per-chain
+// configurations. Restoring it replays sampling bit-identically from the
+// captured point. The zero value is not a valid state.
+type State struct {
+	// Rngs holds the per-worker (Auto) or per-chain (MCMC, Gibbs) generator
+	// states, in worker/chain order.
+	Rngs []rng.State
+	// Chains holds the persistent chain configurations for Markov samplers,
+	// deep-copied; nil for samplers without chain state (Auto).
+	Chains [][]int
+}
+
+// Resumable is implemented by samplers whose stream position can be
+// captured and restored. All samplers in this package implement it.
+type Resumable interface {
+	// Snapshot captures the sampler's current stream position. The returned
+	// state shares no storage with the sampler.
+	Snapshot() State
+	// Restore rewinds the sampler to a previously captured position. It
+	// panics if the state's shape (worker/chain count, sites) does not
+	// match the sampler's.
+	Restore(State)
+}
+
+// snapshotRngs deep-copies a generator slice's states.
+func snapshotRngs(rngs []*rng.Rand) []rng.State {
+	out := make([]rng.State, len(rngs))
+	for i, r := range rngs {
+		out[i] = r.State()
+	}
+	return out
+}
+
+// restoreRngs rewinds a generator slice, enforcing matching counts.
+func restoreRngs(rngs []*rng.Rand, states []rng.State, kind string) {
+	if len(states) != len(rngs) {
+		panic(fmt.Sprintf("sampler: restoring %d RNG states into %s sampler with %d streams",
+			len(states), kind, len(rngs)))
+	}
+	for i, s := range states {
+		rngs[i].SetState(s)
+	}
+}
+
+// snapshotChains deep-copies persistent chain configurations.
+func snapshotChains(states [][]int) [][]int {
+	out := make([][]int, len(states))
+	for i, st := range states {
+		out[i] = append([]int(nil), st...)
+	}
+	return out
+}
+
+// restoreChains copies captured chain configurations back in place,
+// enforcing matching shapes.
+func restoreChains(dst, src [][]int, kind string) {
+	if len(src) != len(dst) {
+		panic(fmt.Sprintf("sampler: restoring %d chains into %s sampler with %d",
+			len(src), kind, len(dst)))
+	}
+	for i, st := range src {
+		if len(st) != len(dst[i]) {
+			panic(fmt.Sprintf("sampler: %s chain %d has %d sites, snapshot has %d",
+				kind, i, len(dst[i]), len(st)))
+		}
+		copy(dst[i], st)
+	}
+}
+
+// Snapshot implements Resumable: an Auto sampler's whole position is its
+// per-worker RNG streams (ancestral sampling keeps no cross-call state).
+func (a *Auto) Snapshot() State {
+	return State{Rngs: snapshotRngs(a.rngs)}
+}
+
+// Restore implements Resumable.
+func (a *Auto) Restore(s State) {
+	restoreRngs(a.rngs, s.Rngs, "auto")
+}
+
+// Snapshot implements Resumable: per-chain RNG streams plus the persistent
+// chain configurations (which seed the next call's walk under Persistent,
+// and whose refill draws are part of the stream otherwise).
+func (m *MCMC) Snapshot() State {
+	return State{Rngs: snapshotRngs(m.rngs), Chains: snapshotChains(m.states)}
+}
+
+// Restore implements Resumable.
+func (m *MCMC) Restore(s State) {
+	restoreRngs(m.rngs, s.Rngs, "mcmc")
+	restoreChains(m.states, s.Chains, "mcmc")
+}
+
+// Snapshot implements Resumable.
+func (g *Gibbs) Snapshot() State {
+	return State{Rngs: snapshotRngs(g.rngs), Chains: snapshotChains(g.states)}
+}
+
+// Restore implements Resumable.
+func (g *Gibbs) Restore(s State) {
+	restoreRngs(g.rngs, s.Rngs, "gibbs")
+	restoreChains(g.states, s.Chains, "gibbs")
+}
+
+var (
+	_ Resumable = (*Auto)(nil)
+	_ Resumable = (*MCMC)(nil)
+	_ Resumable = (*Gibbs)(nil)
+)

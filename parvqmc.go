@@ -466,9 +466,15 @@ func TrainDistributed(p *Problem, o Options, devices, miniBatch int) (*Result, e
 		return nil, err
 	}
 	start := time.Now()
-	hist := tr.Train(o.Iterations, nil)
+	hist, err := tr.Train(o.Iterations, nil)
+	if err != nil {
+		return nil, fmt.Errorf("parvqmc: distributed training failed: %w", err)
+	}
 	elapsed := time.Since(start)
-	mean, std := tr.Evaluate(o.EvalBatch)
+	mean, std, err := tr.Evaluate(o.EvalBatch)
+	if err != nil {
+		return nil, fmt.Errorf("parvqmc: distributed evaluation failed: %w", err)
+	}
 	res := &Result{Energy: mean, Std: std, TrainTime: elapsed}
 	for _, s := range hist {
 		res.Curve = append(res.Curve, IterationStat{Iteration: s.Iter, Energy: s.Energy, Std: s.Std,
