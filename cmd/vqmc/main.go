@@ -27,7 +27,7 @@ func main() {
 		problem = flag.String("problem", "tim", "problem kind: tim or maxcut")
 		n       = flag.Int("n", 16, "number of sites (matrix dimension is 2^n)")
 		seed    = flag.Uint64("seed", 1, "root random seed")
-		model   = flag.String("model", "made", "wavefunction: made or rbm")
+		model   = flag.String("model", "made", "wavefunction: made, rbm, nade or rnn")
 		smp     = flag.String("sampler", "", "sampler: auto, auto-naive or mcmc (default by model)")
 		opt     = flag.String("optimizer", "adam", "optimizer: adam or sgd")
 		lr      = flag.Float64("lr", 0, "learning rate (0 = optimizer default)")
@@ -41,7 +41,7 @@ func main() {
 		thin    = flag.Int("mcmc-thin", 0, "MCMC thinning (0 = none)")
 		chains  = flag.Int("mcmc-chains", 0, "MCMC chains (0 = 2)")
 		batched = flag.Bool("batched-eval", true, "fuse evaluation into blocked GEMMs over the batch (bitwise identical; false = per-sample scalar path for A/B timing)")
-		devices = flag.Int("devices", 1, "data-parallel device count (made only)")
+		devices = flag.Int("devices", 1, "data-parallel device count (autoregressive models)")
 		workers = flag.Int("workers", 0, "CPU workers (serial: 0 = all cores; per replica with -devices: 0 = 1)")
 		mbs     = flag.Int("mbs", 0, "per-device mini-batch for -devices > 1")
 		doExact = flag.Bool("exact", false, "also compute the exact ground energy (small n)")

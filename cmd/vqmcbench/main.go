@@ -1,18 +1,19 @@
 // Command vqmcbench times the scalar (per-sample) evaluation path against
 // the batched GEMM path and writes the results as JSON, giving the repo a
-// recorded perf trajectory across PRs (BENCH_pr4.json, BENCH_pr5.json).
-// The two paths are bitwise identical, so every comparison is pure
-// throughput.
+// recorded perf trajectory across PRs (BENCH_pr4.json, BENCH_pr5.json,
+// BENCH_pr7.json). The two paths are bitwise identical, so every
+// comparison is pure throughput.
 //
-//	vqmcbench -out BENCH_pr5.json                  # acceptance point, n=32 h=64 B=1024
+//	vqmcbench -out BENCH_pr7.json                  # acceptance point, n=32 h=64 B=1024
 //	vqmcbench -quick -out /tmp/smoke.json          # CI smoke (seconds)
 //	vqmcbench -model rbm -quick                    # RBM batched-path smoke
+//	vqmcbench -model nade -quick                   # NADE batched-path smoke
 //	vqmcbench -workers 1,4,8                       # worker sweep
 //
-// For MADE the report also carries the tail-only acceptance ratio: the
-// "LocalEnergiesTailVsPR4" row times the full-recompute flip reference
-// (the PR 4 batched convention, bitwise the same values) against the
-// mask-aware tail-only path.
+// For the autoregressive families the report also carries the tail-only
+// acceptance ratio: the "LocalEnergiesTailVsPR4" (MADE) and
+// "LocalEnergiesTailVsFull" (NADE, RNN) rows time the full-recompute flip
+// reference — bitwise the same values — against the tail-only path.
 package main
 
 import (
@@ -78,11 +79,11 @@ func main() {
 		n       = flag.Int("n", 32, "TIM sites")
 		hsz     = flag.Int("hidden", 64, "hidden width")
 		batch   = flag.Int("batch", 1024, "batch size")
-		model   = flag.String("model", "made", "wavefunction families to time: made, rbm or all")
+		model   = flag.String("model", "made", "wavefunction families to time: made, rbm, nade, rnn or all")
 		workers = flag.String("workers", "", "comma-separated worker counts (default: 1 and GOMAXPROCS)")
 		minMS   = flag.Int("min-ms", 2000, "minimum measurement time per case, milliseconds")
 		quick   = flag.Bool("quick", false, "CI smoke: tiny sizes, one short measurement per case")
-		out     = flag.String("out", "BENCH_pr5.json", "output JSON path")
+		out     = flag.String("out", "BENCH_pr7.json", "output JSON path")
 	)
 	flag.Parse()
 
@@ -91,8 +92,10 @@ func main() {
 	}
 	runMADE := *model == "made" || *model == "all"
 	runRBM := *model == "rbm" || *model == "all"
-	if !runMADE && !runRBM {
-		log.Fatalf("unknown -model %q (want made, rbm or all)", *model)
+	runNADE := *model == "nade" || *model == "all"
+	runRNN := *model == "rnn" || *model == "all"
+	if !runMADE && !runRBM && !runNADE && !runRNN {
+		log.Fatalf("unknown -model %q (want made, rbm, nade, rnn or all)", *model)
 	}
 	wlist := []int{1}
 	if p := runtime.GOMAXPROCS(0); p > 1 {
@@ -111,14 +114,14 @@ func main() {
 	minDur := time.Duration(*minMS) * time.Millisecond
 
 	rep := Report{
-		PR:         "pr5-tail-only-flip-rbm-batched",
+		PR:         "pr7-nade-rnn-batched-dist",
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		GoVersion:  runtime.Version(),
 		Note: "scalar vs batched ns per call; paths are bitwise identical. " +
 			"LocalEnergies/FillOws are per batch, AutoSample per batch, TrainStep per iteration. " +
-			"LocalEnergiesTailVsPR4 times the full-recompute flip reference (PR 4 batched " +
-			"convention) against the mask-aware tail-only super-batch.",
+			"LocalEnergiesTailVsPR4 (MADE) and LocalEnergiesTailVsFull (NADE, RNN) time the " +
+			"full-recompute flip reference against the tail-only super-batch.",
 	}
 
 	emit := func(r Result) {
@@ -134,6 +137,16 @@ func main() {
 		}
 		if runRBM {
 			benchRBM(emit, *n, *hsz, *batch, w, minDur)
+		}
+		if runNADE {
+			benchAutoreg(emit, "nade", func(r *rng.Rand) autoregModel {
+				return nn.NewNADE(*n, *hsz, r)
+			}, *n, *hsz, *batch, w, minDur)
+		}
+		if runRNN {
+			benchAutoreg(emit, "rnn", func(r *rng.Rand) autoregModel {
+				return nn.NewRNN(*n, *hsz, r)
+			}, *n, *hsz, *batch, w, minDur)
 		}
 	}
 
@@ -201,6 +214,77 @@ func benchMADE(emit func(Result), n, hsz, batch, w int, minDur time.Duration) {
 	sNS = timeIt(minDur, func() { trS.Step() })
 	bNS = timeIt(minDur, func() { trB.Step() })
 	emit(Result{Name: "TrainStep", Model: "made", N: n, Hidden: hsz,
+		Batch: batch, Workers: w, ScalarNS: sNS, BatchedNS: bNS, Speedup: sNS / bNS})
+}
+
+// autoregModel is the interface benchAutoreg needs from an autoregressive
+// family: every scalar surface the trainer uses plus the three batched
+// builders (evaluator, full-recompute flip oracle, ancestral sampler).
+type autoregModel interface {
+	core.Model
+	nn.GradEvaluatorBuilder
+	nn.BatchEvaluatorBuilder
+	nn.FullFlipBatchEvaluatorBuilder
+	nn.BatchAncestralBuilder
+	NewIncrementalEvaluator() nn.ConditionalEvaluator
+}
+
+// benchAutoreg times an autoregressive family (NADE, RNN) through the same
+// phases as benchMADE: local energies (scalar vs tail-only batched, plus
+// the full-recompute reference vs tail-only ratio), O_k rows, ancestral
+// sampling, and a whole training step.
+func benchAutoreg(emit func(Result), name string, mk func(r *rng.Rand) autoregModel,
+	n, hsz, batch, w int, minDur time.Duration) {
+	r := rng.New(31)
+	tim := hamiltonian.RandomTIM(n, r)
+	m := mk(r.Split())
+	b := sampler.NewBatch(batch, n)
+	r.FillBits(b.Bits)
+	out1 := make([]float64, batch)
+	bev := core.NewBatchedEval(m, core.EvalAuto, w)
+	full := core.NewBatchedEvalWith(m.NewFullFlipBatchEvaluator(w))
+
+	sNS := timeIt(minDur, func() { core.LocalEnergies(tim, m, b, w, out1) })
+	bNS := timeIt(minDur, func() { bev.LocalEnergies(tim, b, w, out1) })
+	emit(Result{Name: "LocalEnergies", Model: name, N: n, Hidden: hsz,
+		Batch: batch, Workers: w, ScalarNS: sNS, BatchedNS: bNS, Speedup: sNS / bNS})
+
+	fNS := timeIt(minDur, func() { full.LocalEnergies(tim, b, w, out1) })
+	emit(Result{Name: "LocalEnergiesTailVsFull", Model: name, N: n, Hidden: hsz,
+		Batch: batch, Workers: w, ScalarNS: fNS, BatchedNS: bNS, Speedup: fNS / bNS})
+
+	ows := tensor.NewBatch(batch, m.NumParams())
+	evals := make([]nn.GradEvaluator, w)
+	for i := range evals {
+		evals[i] = m.NewGradEvaluator()
+	}
+	sNS = timeIt(minDur, func() { core.FillOws(evals, b, ows, w) })
+	bNS = timeIt(minDur, func() { bev.FillOws(b, ows) })
+	emit(Result{Name: "FillOws", Model: name, N: n, Hidden: hsz,
+		Batch: batch, Workers: w, ScalarNS: sNS, BatchedNS: bNS, Speedup: sNS / bNS})
+
+	sSmp := sampler.NewAuto(n, m.NewIncrementalEvaluator, w, rng.New(37))
+	bSmp := sampler.NewAutoBatched(n, m, w, rng.New(37))
+	sNS = timeIt(minDur, func() { sSmp.Sample(b) })
+	bNS = timeIt(minDur, func() { bSmp.Sample(b) })
+	emit(Result{Name: "AutoSample", Model: name, N: n, Hidden: hsz,
+		Batch: batch, Workers: w, ScalarNS: sNS, BatchedNS: bNS, Speedup: sNS / bNS})
+
+	mkTrainer := func(mode core.EvalMode) *core.Trainer {
+		mm := mk(rng.New(39))
+		var smp sampler.Sampler
+		if mode == core.EvalScalar {
+			smp = sampler.NewAuto(n, mm.NewIncrementalEvaluator, w, rng.New(40))
+		} else {
+			smp = sampler.NewAutoBatched(n, mm, w, rng.New(40))
+		}
+		return core.New(tim, mm, smp, optimizer.NewAdam(0.01),
+			core.Config{BatchSize: batch, Workers: w, Eval: mode})
+	}
+	trS, trB := mkTrainer(core.EvalScalar), mkTrainer(core.EvalAuto)
+	sNS = timeIt(minDur, func() { trS.Step() })
+	bNS = timeIt(minDur, func() { trB.Step() })
+	emit(Result{Name: "TrainStep", Model: name, N: n, Hidden: hsz,
 		Batch: batch, Workers: w, ScalarNS: sNS, BatchedNS: bNS, Speedup: sNS / bNS})
 }
 

@@ -21,6 +21,14 @@ const (
 	EvalAuto EvalMode = iota
 	// EvalScalar forces the per-sample path (the A/B baseline).
 	EvalScalar
+	// EvalFullFlip selects the model's full-recompute flip oracle (every
+	// flip row re-evaluated from scratch instead of resuming from tail-only
+	// snapshots) when the model implements nn.FullFlipBatchEvaluatorBuilder,
+	// behaving like EvalAuto otherwise. The oracle is bitwise identical to
+	// the tail-only evaluator — this mode exists so the differential
+	// reference is a first-class cell in the conformance matrix (serial and
+	// distributed) rather than a test-local construction.
+	EvalFullFlip
 )
 
 // configs reinterprets a sampler batch as the nn-side view, zero-copy.
@@ -47,6 +55,13 @@ type BatchedEval struct {
 func NewBatchedEval(model nn.Wavefunction, mode EvalMode, workers int) *BatchedEval {
 	if mode == EvalScalar {
 		return nil
+	}
+	if mode == EvalFullFlip {
+		if fb, ok := model.(nn.FullFlipBatchEvaluatorBuilder); ok {
+			return &BatchedEval{be: fb.NewFullFlipBatchEvaluator(workers)}
+		}
+		// No oracle (e.g. the RBM, whose incremental delta IS the only
+		// convention): behave like EvalAuto.
 	}
 	bb, ok := model.(nn.BatchEvaluatorBuilder)
 	if !ok {

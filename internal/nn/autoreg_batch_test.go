@@ -1,0 +1,326 @@
+package nn
+
+import (
+	"testing"
+
+	"github.com/vqmc-scale/parvqmc/internal/rng"
+	"github.com/vqmc-scale/parvqmc/internal/tensor"
+)
+
+// batchModel is the full batched contract the autoregressive families share;
+// the table-driven suites below run every property over each family through
+// this one interface so adding a model is a row, not a file.
+type batchModel interface {
+	Wavefunction
+	CacheBuilder
+	BatchEvaluatorBuilder
+	FullFlipBatchEvaluatorBuilder
+	BatchAncestralBuilder
+	NewIncrementalEvaluator() ConditionalEvaluator
+}
+
+// autoregFamilies enumerates the autoregressive model families under the
+// batched bit-identity doctrine (MADE keeps its original suite in
+// batch_test.go; NADE/RNN joined in PR 7).
+var autoregFamilies = []struct {
+	name  string
+	build func(n, h int, r *rng.Rand) batchModel
+}{
+	{"MADE", func(n, h int, r *rng.Rand) batchModel { return NewMADE(n, h, r) }},
+	{"NADE", func(n, h int, r *rng.Rand) batchModel { return NewNADE(n, h, r) }},
+	{"RNN", func(n, h int, r *rng.Rand) batchModel { return NewRNN(n, h, r) }},
+}
+
+// TestAutoregBatchForwardBitIdentical: LogPsiBatch must equal per-row LogPsi
+// and GradLogPsiBatch per-row GradLogPsi with exact ==, for every family x
+// batch size x worker count x site count.
+func TestAutoregBatchForwardBitIdentical(t *testing.T) {
+	for _, fam := range autoregFamilies {
+		t.Run(fam.name, func(t *testing.T) {
+			for _, n := range siteCounts {
+				m := fam.build(n, 6+n/2, rng.New(uint64(500+n)))
+				d := m.NumParams()
+				for _, workers := range workerCounts {
+					e := m.NewBatchEvaluator(workers)
+					for _, bs := range batchSizes {
+						b := randomConfigs(bs, n, rng.New(uint64(29*bs+n)))
+						out := make([]float64, bs)
+						e.LogPsiBatch(b, out)
+						ows := tensor.NewBatch(bs, d)
+						e.GradLogPsiBatch(b, ows)
+						want := tensor.NewVector(d)
+						for k := 0; k < bs; k++ {
+							if lp := m.LogPsi(b.Row(k)); out[k] != lp {
+								t.Fatalf("n=%d w=%d B=%d row %d: batched %v != scalar %v",
+									n, workers, bs, k, out[k], lp)
+							}
+							m.GradLogPsi(b.Row(k), want)
+							row := ows.Sample(k)
+							for i := range want {
+								if row[i] != want[i] {
+									t.Fatalf("n=%d w=%d B=%d row %d param %d: batched grad %v != scalar %v",
+										n, workers, bs, k, i, row[i], want[i])
+								}
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAutoregFlipBatchBitIdentical is the tentpole acceptance matrix:
+// FlipLogPsiBatch must match the scalar FlipCache (base and deltas) AND the
+// full-recompute oracle evaluator byte for byte, over B in {1,3,64} x
+// workers in {1,2,5} x n in {1,2,7,19}, for every family.
+func TestAutoregFlipBatchBitIdentical(t *testing.T) {
+	for _, fam := range autoregFamilies {
+		t.Run(fam.name, func(t *testing.T) {
+			for _, n := range siteCounts {
+				m := fam.build(n, 4+n, rng.New(uint64(600+n)))
+				// All single-bit flips, the TIM local-energy pattern.
+				flips := make([]int, n)
+				for i := range flips {
+					flips[i] = i
+				}
+				for _, workers := range workerCounts {
+					tail := m.NewBatchEvaluator(workers)
+					full := m.NewFullFlipBatchEvaluator(workers)
+					for _, bs := range batchSizes {
+						b := randomConfigs(bs, n, rng.New(uint64(31*bs+n)))
+						base := make([]float64, bs)
+						delta := make([]float64, bs*n)
+						tail.FlipLogPsiBatch(b, flips, base, delta)
+						baseF := make([]float64, bs)
+						deltaF := make([]float64, bs*n)
+						full.FlipLogPsiBatch(b, flips, baseF, deltaF)
+						cache := m.NewFlipCache(b.Row(0))
+						for k := 0; k < bs; k++ {
+							if k > 0 {
+								cache.Reset(b.Row(k))
+							}
+							if base[k] != cache.LogPsi() {
+								t.Fatalf("n=%d w=%d B=%d row %d: batched base %v != cache %v",
+									n, workers, bs, k, base[k], cache.LogPsi())
+							}
+							if base[k] != baseF[k] {
+								t.Fatalf("n=%d w=%d B=%d row %d: tail base %v != oracle base %v",
+									n, workers, bs, k, base[k], baseF[k])
+							}
+							for f, bit := range flips {
+								if want := cache.Delta(bit); delta[k*n+f] != want {
+									t.Fatalf("n=%d w=%d B=%d row %d flip %d: batched delta %v != cache %v",
+										n, workers, bs, k, bit, delta[k*n+f], want)
+								}
+								if delta[k*n+f] != deltaF[k*n+f] {
+									t.Fatalf("n=%d w=%d B=%d row %d flip %d: tail delta %v != oracle %v",
+										n, workers, bs, k, bit, delta[k*n+f], deltaF[k*n+f])
+								}
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAutoregFlipBatchRandomSites pins the tail-only flip paths against
+// fresh LogPsi for RANDOM flip-site subsets (repeats included), nil base
+// included — the QUBO/mixed-Hamiltonian pattern.
+func TestAutoregFlipBatchRandomSites(t *testing.T) {
+	for _, fam := range autoregFamilies {
+		t.Run(fam.name, func(t *testing.T) {
+			r := rng.New(43)
+			for _, n := range siteCounts {
+				m := fam.build(n, 6+n, r.Split())
+				e := m.NewBatchEvaluator(3)
+				y := make([]int, n)
+				for _, bs := range batchSizes {
+					nf := 1 + r.Intn(n)
+					flips := make([]int, nf)
+					for f := range flips {
+						flips[f] = r.Intn(n)
+					}
+					b := randomConfigs(bs, n, r.Split())
+					base := make([]float64, bs)
+					delta := make([]float64, bs*nf)
+					e.FlipLogPsiBatch(b, flips, base, delta)
+					// nil base must leave the deltas unchanged.
+					delta2 := make([]float64, bs*nf)
+					e.FlipLogPsiBatch(b, flips, nil, delta2)
+					for i := range delta {
+						if delta[i] != delta2[i] {
+							t.Fatalf("n=%d B=%d: nil-base delta %d differs: %v != %v",
+								n, bs, i, delta2[i], delta[i])
+						}
+					}
+					for k := 0; k < bs; k++ {
+						baseWant := m.LogPsi(b.Row(k))
+						if base[k] != baseWant {
+							t.Fatalf("n=%d B=%d row %d: base %v != fresh %v", n, bs, k, base[k], baseWant)
+						}
+						for f, bit := range flips {
+							copy(y, b.Row(k))
+							y[bit] = 1 - y[bit]
+							want := m.LogPsi(y) - baseWant
+							if delta[k*nf+f] != want {
+								t.Fatalf("n=%d B=%d row %d flip site %d: delta %v != fresh %v",
+									n, bs, k, bit, delta[k*nf+f], want)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAutoregBatchAncestralBitIdentical: fed the same uniforms, each
+// family's batched site-major sampler must produce exactly the bits of its
+// scalar incremental evaluator walked sample-major.
+func TestAutoregBatchAncestralBitIdentical(t *testing.T) {
+	for _, fam := range autoregFamilies {
+		t.Run(fam.name, func(t *testing.T) {
+			for _, n := range siteCounts {
+				m := fam.build(n, 6+n, rng.New(uint64(700+n)))
+				bsmp := m.NewBatchAncestralSampler()
+				for _, bs := range batchSizes {
+					u := make([]float64, bs*n)
+					rng.New(uint64(37*bs+n)).FillUniform(u, 0, 1)
+					want := make([]int, bs*n)
+					ev := m.NewIncrementalEvaluator()
+					for k := 0; k < bs; k++ {
+						ev.Reset()
+						for i := 0; i < n; i++ {
+							bit := 0
+							if u[k*n+i] < ev.Prob(i) {
+								bit = 1
+							}
+							want[k*n+i] = bit
+							ev.Fix(i, bit)
+						}
+					}
+					for _, workers := range workerCounts {
+						b := ConfigBatch{N: bs, Sites: n, Bits: make([]int, bs*n)}
+						bsmp.Sample(b, u, workers)
+						for i := range want {
+							if b.Bits[i] != want[i] {
+								t.Fatalf("n=%d B=%d w=%d: bit %d = %d, scalar %d",
+									n, bs, workers, i, b.Bits[i], want[i])
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAutoregTailFlipCacheExactRegression pins every family's tail-only
+// flip cache against fresh LogPsi with exact == across arbitrary
+// interleavings of Flip, Delta and Reset (the MADE-only original lives in
+// batch_test.go; this is the family matrix).
+func TestAutoregTailFlipCacheExactRegression(t *testing.T) {
+	for _, fam := range autoregFamilies {
+		t.Run(fam.name, func(t *testing.T) {
+			r := rng.New(11)
+			for _, n := range siteCounts {
+				m := fam.build(n, 5+n, r.Split())
+				x := make([]int, n)
+				r.FillBits(x)
+				c := m.NewFlipCache(x).(TailFlipCache)
+				y := make([]int, n)
+				for trial := 0; trial < 200; trial++ {
+					if c.LogPsi() != m.LogPsi(c.State()) {
+						t.Fatalf("n=%d trial %d: cache logPsi %v != fresh %v",
+							n, trial, c.LogPsi(), m.LogPsi(c.State()))
+					}
+					bit := r.Intn(n)
+					copy(y, c.State())
+					y[bit] = 1 - y[bit]
+					if got, want := c.FlipLogPsi(bit), m.LogPsi(y); got != want {
+						t.Fatalf("n=%d trial %d: FlipLogPsi(%d) = %v != fresh %v", n, trial, bit, got, want)
+					}
+					if got, want := c.Delta(bit), m.LogPsi(y)-c.LogPsi(); got != want {
+						t.Fatalf("n=%d trial %d: Delta(%d) = %v != fresh difference %v", n, trial, bit, got, want)
+					}
+					switch trial % 3 {
+					case 0:
+						c.Flip(bit)
+					case 1:
+						r.FillBits(y)
+						c.Reset(y)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestNADETransposedCacheInvalidation: NADE's V^T/W^T caches must rebuild
+// after InvalidateParams and must poison results if it is NOT called — the
+// teeth that prove the version counter is load-bearing (the RNN needs no
+// such test: its batched path aliases theta directly).
+func TestNADETransposedCacheInvalidation(t *testing.T) {
+	n := 6
+	m := NewNADE(n, 8, rng.New(15))
+	e := m.NewBatchEvaluator(2)
+	b := randomConfigs(4, n, rng.New(16))
+	out := make([]float64, 4)
+	e.LogPsiBatch(b, out) // builds the caches
+
+	m.Params()[0] += 0.125
+	InvalidateParams(m)
+	e.LogPsiBatch(b, out)
+	for k := 0; k < 4; k++ {
+		if want := m.LogPsi(b.Row(k)); out[k] != want {
+			t.Fatalf("after invalidation row %d: batched %v != scalar %v", k, out[k], want)
+		}
+	}
+
+	m.Params()[0] += 0.125
+	e.LogPsiBatch(b, out)
+	stale := false
+	for k := 0; k < 4; k++ {
+		if out[k] != m.LogPsi(b.Row(k)) {
+			stale = true
+		}
+	}
+	if !stale {
+		t.Fatal("stale transposed cache still matched fresh weights; cache is not engaged")
+	}
+	InvalidateParams(m)
+}
+
+// FuzzNADEPrefixResume fuzzes the NADE prefix-resume invariant the tail-only
+// doctrine rests on: for any configuration and flip site, the cache's
+// resumed FlipLogPsi must equal a fresh LogPsi of the flipped configuration
+// with exact ==, and committing the flip must land the cache on exactly the
+// fresh base of the new configuration.
+func FuzzNADEPrefixResume(f *testing.F) {
+	f.Add(uint64(1), uint64(0), uint8(0))
+	f.Add(uint64(7), uint64(0x5a5a5a5a), uint8(3))
+	f.Add(uint64(19), uint64(0xffffffffffffffff), uint8(18))
+	f.Fuzz(func(t *testing.T, seed, xbits uint64, bitRaw uint8) {
+		n := 1 + int(seed%19)
+		bit := int(bitRaw) % n
+		m := NewNADE(n, 5+n/2, rng.New(seed))
+		x := make([]int, n)
+		for i := range x {
+			x[i] = int(xbits>>uint(i)) & 1
+		}
+		c := m.NewFlipCache(x).(TailFlipCache)
+		y := make([]int, n)
+		copy(y, x)
+		y[bit] = 1 - y[bit]
+		if got, want := c.FlipLogPsi(bit), m.LogPsi(y); got != want {
+			t.Fatalf("n=%d bit=%d: FlipLogPsi %v != fresh %v", n, bit, got, want)
+		}
+		c.Flip(bit)
+		if got, want := c.LogPsi(), m.LogPsi(y); got != want {
+			t.Fatalf("n=%d bit=%d: post-Flip LogPsi %v != fresh %v", n, bit, got, want)
+		}
+	})
+}

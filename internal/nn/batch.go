@@ -78,6 +78,18 @@ type BatchEvaluatorBuilder interface {
 	NewBatchEvaluator(workers int) BatchEvaluator
 }
 
+// FullFlipBatchEvaluatorBuilder is implemented by wavefunctions whose
+// batched path additionally provides a full-recompute flip oracle: a
+// BatchEvaluator whose FlipLogPsiBatch re-evaluates every flip row from
+// scratch instead of resuming from tail-only snapshots. The oracle produces
+// bitwise the same outputs as the tail-only evaluator (the tail resume is
+// provably an exact suffix of the full fold) and exists as the
+// differential-testing reference and the A/B perf baseline; core.EvalFullFlip
+// selects it through this interface.
+type FullFlipBatchEvaluatorBuilder interface {
+	NewFullFlipBatchEvaluator(workers int) BatchEvaluator
+}
+
 // BatchAncestralSampler advances a whole batch of ancestral samples
 // site-major: one fused pass over the B x h hidden state per site instead
 // of B independent site loops, so the per-site weight column stays hot in

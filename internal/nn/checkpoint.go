@@ -15,17 +15,19 @@ import (
 // Checkpointing serializes a wavefunction's architecture header and flat
 // parameter vector in a small self-describing little-endian binary format,
 // so long optimizations can be stopped and resumed and trained models
-// shipped. Format: magic "PVQ1", kind byte (1=MADE, 2=RBM), n, h, d as
-// uint32, then d float64 parameters.
+// shipped. Format: magic "PVQ1", kind byte (1=MADE, 2=RBM, 3=NADE, 4=RNN),
+// n, h, d as uint32, then d float64 parameters.
 
 const checkpointMagic = "PVQ1"
 
 const (
 	kindMADE byte = 1
 	kindRBM  byte = 2
+	kindNADE byte = 3
+	kindRNN  byte = 4
 )
 
-// SaveWavefunction writes a MADE or RBM checkpoint to w.
+// SaveWavefunction writes a MADE, RBM, NADE, or RNN checkpoint to w.
 func SaveWavefunction(w io.Writer, wf Wavefunction) error {
 	bw := bufio.NewWriter(w)
 	var kind byte
@@ -35,6 +37,10 @@ func SaveWavefunction(w io.Writer, wf Wavefunction) error {
 		kind, n, h = kindMADE, m.NumSites(), m.Hidden()
 	case *RBM:
 		kind, n, h = kindRBM, m.NumSites(), m.Hidden()
+	case *NADE:
+		kind, n, h = kindNADE, m.NumSites(), m.Hidden()
+	case *RNNWavefunction:
+		kind, n, h = kindRNN, m.NumSites(), m.Hidden()
 	default:
 		return fmt.Errorf("nn: cannot checkpoint %T", wf)
 	}
@@ -61,8 +67,8 @@ func SaveWavefunction(w io.Writer, wf Wavefunction) error {
 }
 
 // LoadWavefunction reads a checkpoint, reconstructing the model with its
-// masks and loading the saved parameters. The returned value is a *MADE or
-// *RBM.
+// masks and loading the saved parameters. The returned value is a *MADE,
+// *RBM, *NADE, or *RNNWavefunction.
 func LoadWavefunction(r io.Reader) (Wavefunction, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, 4)
@@ -112,6 +118,10 @@ func LoadWavefunction(r io.Reader) (Wavefunction, error) {
 		wf = NewMADE(n, h, rng.New(0))
 	case kindRBM:
 		wf = NewRBM(n, h, rng.New(0))
+	case kindNADE:
+		wf = NewNADE(n, h, rng.New(0))
+	case kindRNN:
+		wf = NewRNN(n, h, rng.New(0))
 	}
 	params := wf.Params()
 	if len(params) != d {
@@ -140,6 +150,13 @@ func expectedParamCount(kind byte, n, h int) (int64, error) {
 	case kindRBM:
 		// W (h x n) + A (n) + C (h) + scale; see NewRBM.
 		return H*N + N + H + 1, nil
+	case kindNADE:
+		// W (h x n) + c (h) + V (n x h) + b (n); see NewNADE. Same count as
+		// MADE at equal width — the kind byte disambiguates.
+		return 2*H*N + H + N, nil
+	case kindRNN:
+		// Wh (h x h) + Wx (h) + Bh (h) + S0 (h) + V (h) + Bout (n); see NewRNN.
+		return H*H + 4*H + N, nil
 	default:
 		return 0, fmt.Errorf("nn: unknown checkpoint kind %d", kind)
 	}

@@ -66,6 +66,38 @@ func TestCheckpointRoundTripRBM(t *testing.T) {
 	}
 }
 
+// TestCheckpointRoundTripNADERNN: NADE and RNN checkpoints must round-trip
+// with bitwise-identical evaluations — the prerequisite for these models
+// riding dist.Trainer.Recover (before PR 7 SaveWavefunction rejected them).
+func TestCheckpointRoundTripNADERNN(t *testing.T) {
+	r := rng.New(21)
+	models := []Wavefunction{NewNADE(8, 5, r), NewRNN(7, 6, r)}
+	for _, m := range models {
+		for i := range m.Params() {
+			m.Params()[i] += r.Uniform(-1, 1)
+		}
+		InvalidateParams(m)
+		var buf bytes.Buffer
+		if err := SaveWavefunction(&buf, m); err != nil {
+			t.Fatalf("%T: %v", m, err)
+		}
+		wf, err := LoadWavefunction(&buf)
+		if err != nil {
+			t.Fatalf("%T: %v", m, err)
+		}
+		if wf.NumSites() != m.NumSites() || wf.NumParams() != m.NumParams() {
+			t.Fatalf("%T: shape lost (n=%d d=%d)", m, wf.NumSites(), wf.NumParams())
+		}
+		x := make([]int, m.NumSites())
+		for trial := 0; trial < 20; trial++ {
+			r.FillBits(x)
+			if m.LogPsi(x) != wf.LogPsi(x) {
+				t.Fatalf("loaded %T disagrees with original", m)
+			}
+		}
+	}
+}
+
 func TestCheckpointFileRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "model.pvq")
@@ -134,6 +166,8 @@ func header(magic string, kind byte, n, h, d uint32, payloadFloats int) []byte {
 // ran after construction.
 func TestCheckpointCorruptHeaders(t *testing.T) {
 	// MADE(4,3): d = 2*3*4 + 3 + 4 = 31. RBM(4,3): d = 3*4 + 4 + 3 + 1 = 20.
+	// NADE(4,3): d = 2*3*4 + 3 + 4 = 31 (same as MADE; kind disambiguates).
+	// RNN(4,3): d = 3*3 + 4*3 + 4 = 25.
 	cases := []struct {
 		name string
 		raw  []byte
@@ -147,10 +181,17 @@ func TestCheckpointCorruptHeaders(t *testing.T) {
 		{"zero hidden", header("PVQ1", 2, 4, 0, 5, 5)},
 		{"param count mismatch MADE", header("PVQ1", 1, 4, 3, 30, 30)},
 		{"param count mismatch RBM", header("PVQ1", 2, 4, 3, 31, 31)},
+		{"param count mismatch NADE", header("PVQ1", 3, 4, 3, 30, 30)},
+		{"param count mismatch RNN", header("PVQ1", 4, 4, 3, 31, 31)},
+		{"zero sites NADE", header("PVQ1", 3, 0, 3, 3, 3)},
+		{"zero hidden RNN", header("PVQ1", 4, 4, 0, 4, 4)},
+		{"truncated payload RNN", header("PVQ1", 4, 4, 3, 25, 24)},
 		// 2*(2^31-1)*(2^31-1) params claimed: must fail the derived-count
 		// check in int64 arithmetic without ever allocating.
 		{"absurd dims MADE", header("PVQ1", 1, 1<<31 - 1, 1<<31 - 1, 1<<31 - 1, 0)},
 		{"absurd dims RBM", header("PVQ1", 2, 1<<31 - 1, 1<<31 - 1, 1<<31 - 1, 0)},
+		{"absurd dims NADE", header("PVQ1", 3, 1<<31 - 1, 1<<31 - 1, 1<<31 - 1, 0)},
+		{"absurd dims RNN", header("PVQ1", 4, 1<<31 - 1, 1<<31 - 1, 1<<31 - 1, 0)},
 		// Dims whose derived count is internally consistent but past the
 		// plausibility cap (MADE 2^14 x 2^14: d = 2*2^28 + 2^15 > 2^28).
 		{"over cap consistent MADE", header("PVQ1", 1, 1<<14, 1<<14, 0, 0)},

@@ -582,6 +582,7 @@ func (a *madeBatchAncestral) Sample(b ConfigBatch, u []float64, workers int) {
 }
 
 var (
-	_ BatchEvaluatorBuilder = (*MADE)(nil)
-	_ BatchAncestralBuilder = (*MADE)(nil)
+	_ BatchEvaluatorBuilder         = (*MADE)(nil)
+	_ FullFlipBatchEvaluatorBuilder = (*MADE)(nil)
+	_ BatchAncestralBuilder         = (*MADE)(nil)
 )

@@ -2,6 +2,7 @@ package nn
 
 import (
 	"math"
+	"sync"
 
 	"github.com/vqmc-scale/parvqmc/internal/rng"
 	"github.com/vqmc-scale/parvqmc/internal/tensor"
@@ -28,6 +29,20 @@ type NADE struct {
 	C     tensor.Vector  // h, initial hidden state
 	V     *tensor.Matrix // n x h, per-site output weights
 	B     tensor.Vector  // n, output biases
+	// Transposed-layout caches for the batched GEMM path: vt holds V^T
+	// (h x n) so per-site conditional columns batch as column-range GEMMs,
+	// and wt holds W^T (n x h, row i = column i of W) so the batched
+	// accumulate adds one contiguous row per set bit. Both are materialized
+	// once per parameter version (the RBM weightsT idiom); version is bumped
+	// by InvalidateParams, tVersion records the build version (0 = never).
+	version  uint64
+	tVersion uint64
+	vt, wt   *tensor.Matrix
+	// pool recycles evaluation scratch for the convenience entry points
+	// (LogProb, Conditional, GradLogPsi), which previously allocated a fresh
+	// NADEScratch per call — a hidden per-sample allocation in any hot loop
+	// driving the model through the interface types.
+	pool sync.Pool
 }
 
 // NADEScratch holds per-worker evaluation buffers.
@@ -56,10 +71,15 @@ func NewNADE(n, h int, r *rng.Rand) *NADE {
 	m.V = &tensor.Matrix{Rows: n, Cols: h, Data: theta[off : off+n*h]}
 	off += n * h
 	m.B = theta[off : off+n]
+	// Fan-in = the trailing dimension of each block, matching the vectors'
+	// roles: c seeds the h-wide hidden state, b biases the n-wide output.
+	// (The draw COUNT and order are unchanged — uniformInit always fills
+	// len(w) values — so MADE/RBM init streams are unaffected.)
 	uniformInit(m.W.Data, n, r)
-	uniformInit(m.C, n, r)
+	uniformInit(m.C, h, r)
 	uniformInit(m.V.Data, h, r)
-	uniformInit(m.B, h, r)
+	uniformInit(m.B, n, r)
+	m.version = 1
 	return m
 }
 
@@ -74,6 +94,17 @@ func (m *NADE) NewScratch() *NADEScratch {
 	}
 }
 
+// getScratch borrows a scratch from the model's pool (concurrency-safe;
+// allocation-free in steady state). Pair with putScratch.
+func (m *NADE) getScratch() *NADEScratch {
+	if s, ok := m.pool.Get().(*NADEScratch); ok {
+		return s
+	}
+	return m.NewScratch()
+}
+
+func (m *NADE) putScratch(s *NADEScratch) { m.pool.Put(s) }
+
 // NumSites implements Wavefunction.
 func (m *NADE) NumSites() int { return m.n }
 
@@ -85,6 +116,32 @@ func (m *NADE) NumParams() int { return len(m.theta) }
 
 // Params implements Wavefunction.
 func (m *NADE) Params() tensor.Vector { return m.theta }
+
+// InvalidateParams marks the transposed-layout caches stale. It must be
+// called after every in-place parameter mutation (optimizer steps,
+// checkpoint loads); trainers do this through nn.InvalidateParams.
+func (m *NADE) InvalidateParams() { m.version++ }
+
+// transposed returns the cached V^T (h x n) and W^T (n x h) layouts the
+// batched paths contract against, rebuilding them if the parameters changed
+// since the last build. Not safe for concurrent first use; the batched paths
+// call it from the coordinating goroutine before fanning out.
+func (m *NADE) transposed() (vt, wt *tensor.Matrix) {
+	if m.tVersion != m.version {
+		if m.vt == nil {
+			m.vt = tensor.NewMatrix(m.h, m.n)
+			m.wt = tensor.NewMatrix(m.n, m.h)
+		}
+		for i := 0; i < m.n; i++ {
+			for k := 0; k < m.h; k++ {
+				m.vt.Data[k*m.n+i] = m.V.Data[i*m.h+k]
+				m.wt.Data[i*m.h+k] = m.W.Data[k*m.n+i]
+			}
+		}
+		m.tVersion = m.version
+	}
+	return m.vt, m.wt
+}
 
 // conditionalZ computes the output pre-activation for site i given the
 // current hidden accumulator.
@@ -110,18 +167,21 @@ func (m *NADE) LogProbScratch(x []int, s *NADEScratch) float64 {
 	var lp float64
 	for i, b := range x {
 		z := m.conditionalZ(s.A, s.Relu, i)
-		if b == 1 {
-			lp += logSigmoid(z)
-		} else {
-			lp += logSigmoid(-z)
-		}
+		lp += condTerm(z, b)
 		m.accumulate(s.A, i, b)
 	}
 	return lp
 }
 
-// LogProb implements Normalized.
-func (m *NADE) LogProb(x []int) float64 { return m.LogProbScratch(x, m.NewScratch()) }
+// LogProb implements Normalized. It borrows pooled scratch, so repeated
+// calls do not allocate; hot paths with a per-worker scratch should still
+// prefer LogProbScratch.
+func (m *NADE) LogProb(x []int) float64 {
+	s := m.getScratch()
+	lp := m.LogProbScratch(x, s)
+	m.putScratch(s)
+	return lp
+}
 
 // LogPsi implements Wavefunction: psi = sqrt(pi).
 func (m *NADE) LogPsi(x []int) float64 { return 0.5 * m.LogProb(x) }
@@ -131,9 +191,17 @@ func (m *NADE) LogPsiScratch(x []int, s *NADEScratch) float64 {
 	return 0.5 * m.LogProbScratch(x, s)
 }
 
-// Conditional implements Autoregressive.
+// Conditional implements Autoregressive: P(x_i = 1 | x_<i). It borrows
+// pooled scratch; hot paths should use ConditionalScratch.
 func (m *NADE) Conditional(x []int, i int) float64 {
-	s := m.NewScratch()
+	s := m.getScratch()
+	p := m.ConditionalScratch(x, i, s)
+	m.putScratch(s)
+	return p
+}
+
+// ConditionalScratch is the buffer-reusing variant of Conditional.
+func (m *NADE) ConditionalScratch(x []int, i int, s *NADEScratch) float64 {
 	copy(s.A, m.C)
 	for j := 0; j < i; j++ {
 		m.accumulate(s.A, j, x[j])
@@ -196,9 +264,12 @@ func (m *NADE) GradLogPsiScratch(x []int, grad tensor.Vector, s *NADEScratch) {
 	grad.Scale(0.5)
 }
 
-// GradLogPsi implements Wavefunction.
+// GradLogPsi implements Wavefunction. It borrows pooled scratch; hot paths
+// use NewGradEvaluator's per-worker instances instead.
 func (m *NADE) GradLogPsi(x []int, grad tensor.Vector) {
-	m.GradLogPsiScratch(x, grad, m.NewScratch())
+	s := m.getScratch()
+	m.GradLogPsiScratch(x, grad, s)
+	m.putScratch(s)
 }
 
 // NewGradEvaluator implements GradEvaluatorBuilder.
@@ -217,39 +288,88 @@ func (e *nadeGradEvaluator) GradLogPsi(x []int, grad tensor.Vector) {
 
 func (e *nadeGradEvaluator) LogPsi(x []int) float64 { return e.m.LogPsiScratch(x, e.s) }
 
-// NewFlipCache implements CacheBuilder (recompute-on-flip; O(nh) per Delta).
+// NewFlipCache implements CacheBuilder with a tail-only TailFlipCache:
+// NADE's hidden accumulator consumes sites in ascending order, so a flip of
+// bit b leaves every a_i with i <= b — and therefore site b's conditional
+// pre-activation z_b — bitwise untouched. The cache records, per site, the
+// accumulator snapshot a_i, the pre-activation z_i, and the log-probability
+// prefix sums; FlipLogPsi resumes the accumulation chain and the fold from
+// site b in O((n-b) h) instead of the O(nh) full recompute, producing
+// flipped log-psi values bitwise identical to a fresh LogPsi.
 func (m *NADE) NewFlipCache(x []int) FlipCache {
-	c := &nadeFlipCache{m: m, s: m.NewScratch(), x: make([]int, m.n)}
+	c := &nadeFlipCache{
+		m: m, s: m.NewScratch(), x: make([]int, m.n),
+		z: tensor.NewVector(m.n), p: tensor.NewVector(m.n + 1),
+	}
 	copy(c.x, x)
-	c.logPsi = m.LogPsiScratch(c.x, c.s)
+	c.rebase(0)
 	return c
 }
 
+// nadeFlipCache is NADE's tail-only TailFlipCache; see NADE.NewFlipCache.
+// s.As row i holds a_i (the accumulator before site i consumes its bit),
+// z[i] the site's conditional pre-activation, and p[i] the log-probability
+// fold over sites < i (p[n] is the total; p[0] stays 0).
 type nadeFlipCache struct {
 	m      *NADE
 	s      *NADEScratch
 	x      []int
+	z, p   tensor.Vector
 	logPsi float64
+}
+
+// rebase recomputes the recorded base trajectory from site `from` onward,
+// reusing the prefix records (sites < from are unaffected by whatever change
+// prompted the rebase). The resumed chain performs the identical operations
+// a from-scratch rebuild would, so the records are bitwise independent of
+// the rebase history.
+func (c *nadeFlipCache) rebase(from int) {
+	m, s := c.m, c.s
+	if from == 0 {
+		copy(s.A, m.C)
+	} else {
+		copy(s.A, s.As.Row(from))
+	}
+	for i := from; i < m.n; i++ {
+		copy(s.As.Row(i), s.A)
+		c.z[i] = m.conditionalZ(s.A, s.Relu, i)
+		c.p[i+1] = c.p[i] + condTerm(c.z[i], c.x[i])
+		m.accumulate(s.A, i, c.x[i])
+	}
+	c.logPsi = 0.5 * c.p[m.n]
 }
 
 func (c *nadeFlipCache) LogPsi() float64 { return c.logPsi }
 
-func (c *nadeFlipCache) Delta(bit int) float64 {
-	copy(c.s.buf, c.x)
-	c.s.buf[bit] = 1 - c.s.buf[bit]
-	return c.m.LogPsiScratch(c.s.buf, c.s) - c.logPsi
+// FlipLogPsi implements TailFlipCache: re-branch site bit on the unchanged
+// base z, resume the accumulation chain from the recorded a_bit snapshot
+// with the flipped bit folded in, and fold the tail terms onto the recorded
+// prefix sum — bitwise a fresh LogPsi of the flipped configuration.
+func (c *nadeFlipCache) FlipLogPsi(bit int) float64 {
+	m, s := c.m, c.s
+	nb := 1 - c.x[bit]
+	lp := c.p[bit] + condTerm(c.z[bit], nb)
+	copy(s.A, s.As.Row(bit))
+	m.accumulate(s.A, bit, nb)
+	for j := bit + 1; j < m.n; j++ {
+		lp += condTerm(m.conditionalZ(s.A, s.Relu, j), c.x[j])
+		m.accumulate(s.A, j, c.x[j])
+	}
+	return 0.5 * lp
 }
+
+func (c *nadeFlipCache) Delta(bit int) float64 { return c.FlipLogPsi(bit) - c.logPsi }
 
 func (c *nadeFlipCache) Flip(bit int) {
 	c.x[bit] = 1 - c.x[bit]
-	c.logPsi = c.m.LogPsiScratch(c.x, c.s)
+	c.rebase(bit)
 }
 
 func (c *nadeFlipCache) State() []int { return c.x }
 
 func (c *nadeFlipCache) Reset(x []int) {
 	copy(c.x, x)
-	c.logPsi = c.m.LogPsiScratch(c.x, c.s)
+	c.rebase(0)
 }
 
 // NewIncrementalEvaluator returns the natural O(h)-per-bit NADE evaluator
@@ -291,4 +411,5 @@ var (
 	_ CacheBuilder         = (*NADE)(nil)
 	_ GradEvaluatorBuilder = (*NADE)(nil)
 	_ ConditionalEvaluator = (*nadeEvaluator)(nil)
+	_ TailFlipCache        = (*nadeFlipCache)(nil)
 )

@@ -114,6 +114,18 @@ func softplus(z float64) float64 {
 // logSigmoid computes ln sigma(z) = -softplus(-z) stably.
 func logSigmoid(z float64) float64 { return -softplus(-z) }
 
+// condTerm is one site's contribution to an autoregressive log-probability
+// fold: ln sigma(z) when the bit is 1, ln sigma(-z) when it is 0. The scalar
+// folds, the flip caches' prefix/tail resumes, and the batched paths all add
+// terms through this one function so every path folds bitwise-identical
+// values.
+func condTerm(z float64, bit int) float64 {
+	if bit == 1 {
+		return logSigmoid(z)
+	}
+	return logSigmoid(-z)
+}
+
 // lnCosh computes ln cosh(z) stably for large |z|.
 func lnCosh(z float64) float64 {
 	a := math.Abs(z)

@@ -2,6 +2,7 @@ package nn
 
 import (
 	"math"
+	"sync"
 
 	"github.com/vqmc-scale/parvqmc/internal/rng"
 	"github.com/vqmc-scale/parvqmc/internal/tensor"
@@ -19,6 +20,11 @@ import (
 // Like MADE and NADE it is normalized and exactly sampleable, with O(h^2)
 // work per site. Parameters: Wh (h x h), Wx (h), Bh (h), S0 (h), V (h),
 // Bout (n); d = h^2 + 4h + n.
+//
+// The RNN needs no transposed parameter caches for its batched path: the
+// batched kernels contract against Wh directly (tensor.MatMulT computes
+// rows of S . Wh^T with the exact MulVec dot chains) and view V as a 1 x h
+// matrix aliasing theta, so InvalidateParams has nothing to rebuild here.
 type RNNWavefunction struct {
 	n, h  int
 	theta tensor.Vector
@@ -28,6 +34,9 @@ type RNNWavefunction struct {
 	S0    tensor.Vector  // h, learned initial state
 	V     tensor.Vector  // h, output projection (shared across sites)
 	Bout  tensor.Vector  // n, per-site output bias
+	// pool recycles evaluation scratch for the convenience entry points
+	// (LogProb, Conditional, GradLogPsi); see the NADE pool for rationale.
+	pool sync.Pool
 }
 
 // RNNScratch holds per-worker buffers.
@@ -65,7 +74,10 @@ func NewRNN(n, h int, r *rng.Rand) *RNNWavefunction {
 	uniformInit(m.Bh, h, r)
 	uniformInit(m.S0, h, r)
 	uniformInit(m.V, h, r)
-	uniformInit(m.Bout, h, r)
+	// Bout biases the n-wide output layer; its fan-in is n, not h. (Draw
+	// count and order are unchanged, so other models' init streams are
+	// unaffected.)
+	uniformInit(m.Bout, n, r)
 	return m
 }
 
@@ -81,6 +93,17 @@ func (m *RNNWavefunction) NewScratch() *RNNScratch {
 	}
 }
 
+// getScratch borrows a scratch from the model's pool (concurrency-safe;
+// allocation-free in steady state). Pair with putScratch.
+func (m *RNNWavefunction) getScratch() *RNNScratch {
+	if s, ok := m.pool.Get().(*RNNScratch); ok {
+		return s
+	}
+	return m.NewScratch()
+}
+
+func (m *RNNWavefunction) putScratch(s *RNNScratch) { m.pool.Put(s) }
+
 // NumSites implements Wavefunction.
 func (m *RNNWavefunction) NumSites() int { return m.n }
 
@@ -93,9 +116,19 @@ func (m *RNNWavefunction) NumParams() int { return len(m.theta) }
 // Params implements Wavefunction.
 func (m *RNNWavefunction) Params() tensor.Vector { return m.theta }
 
-// stepState advances s through one recurrence consuming bit.
+// stepState advances s through one recurrence consuming bit: the Wh matvec
+// into pre followed by stepActivate.
 func (m *RNNWavefunction) stepState(s, pre tensor.Vector, bit int) {
 	m.Wh.MulVec(pre, s)
+	m.stepActivate(s, pre, bit)
+}
+
+// stepActivate finishes a recurrence step given pre already holding Wh s:
+// pre[k] += Wx[k] x + Bh[k]; s[k] = tanh(pre[k]). It is shared verbatim
+// between the scalar path (stepState) and the batched path (which fills the
+// batch's pre rows via one tensor.MatMulT against Wh and then activates each
+// row through this function), so the two produce bitwise-identical states.
+func (m *RNNWavefunction) stepActivate(s, pre tensor.Vector, bit int) {
 	xb := float64(bit)
 	for k := 0; k < m.h; k++ {
 		pre[k] += m.Wx[k]*xb + m.Bh[k]
@@ -113,12 +146,7 @@ func (m *RNNWavefunction) LogProbScratch(x []int, s *RNNScratch) float64 {
 	copy(s.S, m.S0)
 	var lp float64
 	for i, b := range x {
-		z := m.outputZ(s.S, i)
-		if b == 1 {
-			lp += logSigmoid(z)
-		} else {
-			lp += logSigmoid(-z)
-		}
+		lp += condTerm(m.outputZ(s.S, i), b)
 		if i < m.n-1 {
 			m.stepState(s.S, s.Pre, b)
 		}
@@ -126,9 +154,14 @@ func (m *RNNWavefunction) LogProbScratch(x []int, s *RNNScratch) float64 {
 	return lp
 }
 
-// LogProb implements Normalized.
+// LogProb implements Normalized. It borrows pooled scratch, so repeated
+// calls do not allocate; hot paths with a per-worker scratch should still
+// prefer LogProbScratch.
 func (m *RNNWavefunction) LogProb(x []int) float64 {
-	return m.LogProbScratch(x, m.NewScratch())
+	s := m.getScratch()
+	lp := m.LogProbScratch(x, s)
+	m.putScratch(s)
+	return lp
 }
 
 // LogPsi implements Wavefunction.
@@ -139,9 +172,17 @@ func (m *RNNWavefunction) LogPsiScratch(x []int, s *RNNScratch) float64 {
 	return 0.5 * m.LogProbScratch(x, s)
 }
 
-// Conditional implements Autoregressive.
+// Conditional implements Autoregressive. It borrows pooled scratch; hot
+// paths should use ConditionalScratch.
 func (m *RNNWavefunction) Conditional(x []int, i int) float64 {
-	s := m.NewScratch()
+	s := m.getScratch()
+	p := m.ConditionalScratch(x, i, s)
+	m.putScratch(s)
+	return p
+}
+
+// ConditionalScratch is the buffer-reusing variant of Conditional.
+func (m *RNNWavefunction) ConditionalScratch(x []int, i int, s *RNNScratch) float64 {
 	copy(s.S, m.S0)
 	for j := 0; j < i; j++ {
 		m.stepState(s.S, s.Pre, x[j])
@@ -220,9 +261,12 @@ func (m *RNNWavefunction) GradLogPsiScratch(x []int, grad tensor.Vector, s *RNNS
 	grad.Scale(0.5)
 }
 
-// GradLogPsi implements Wavefunction.
+// GradLogPsi implements Wavefunction. It borrows pooled scratch; hot paths
+// use NewGradEvaluator's per-worker instances instead.
 func (m *RNNWavefunction) GradLogPsi(x []int, grad tensor.Vector) {
-	m.GradLogPsiScratch(x, grad, m.NewScratch())
+	s := m.getScratch()
+	m.GradLogPsiScratch(x, grad, s)
+	m.putScratch(s)
 }
 
 // NewGradEvaluator implements GradEvaluatorBuilder.
@@ -241,39 +285,91 @@ func (e *rnnGradEvaluator) GradLogPsi(x []int, grad tensor.Vector) {
 
 func (e *rnnGradEvaluator) LogPsi(x []int) float64 { return e.m.LogPsiScratch(x, e.s) }
 
-// NewFlipCache implements CacheBuilder (recompute; O(nh^2) per Delta).
+// NewFlipCache implements CacheBuilder with a tail-only TailFlipCache: the
+// recurrence consumes sites in ascending order, so a flip of bit b leaves
+// s_i for i <= b — and therefore site b's conditional pre-activation —
+// bitwise untouched. The cache records per-site hidden-state snapshots,
+// pre-activations, and log-probability prefix sums; FlipLogPsi restarts the
+// recurrence from the recorded s_b with the flipped bit and folds the tail
+// in O((n-b) h^2) instead of the O(n h^2) full recompute, bitwise identical
+// to a fresh LogPsi of the flipped configuration.
 func (m *RNNWavefunction) NewFlipCache(x []int) FlipCache {
-	c := &rnnFlipCache{m: m, s: m.NewScratch(), x: make([]int, m.n)}
+	c := &rnnFlipCache{
+		m: m, s: m.NewScratch(), x: make([]int, m.n),
+		z: tensor.NewVector(m.n), p: tensor.NewVector(m.n + 1),
+	}
 	copy(c.x, x)
-	c.logPsi = m.LogPsiScratch(c.x, c.s)
+	c.rebase(0)
 	return c
 }
 
+// rnnFlipCache is the RNN's tail-only TailFlipCache; see
+// RNNWavefunction.NewFlipCache. s.Ss row i holds s_i (the state site i's
+// conditional reads), z[i] the site's pre-activation, and p[i] the
+// log-probability fold over sites < i (p[n] is the total; p[0] stays 0).
 type rnnFlipCache struct {
 	m      *RNNWavefunction
 	s      *RNNScratch
 	x      []int
+	z, p   tensor.Vector
 	logPsi float64
+}
+
+// rebase recomputes the recorded base trajectory from site `from` onward,
+// reusing the prefix records; the resumed recurrence performs exactly the
+// operations a from-scratch rebuild would.
+func (c *rnnFlipCache) rebase(from int) {
+	m, s := c.m, c.s
+	copy(s.S, s.Ss.Row(from))
+	if from == 0 {
+		copy(s.S, m.S0)
+	}
+	for i := from; i < m.n; i++ {
+		copy(s.Ss.Row(i), s.S)
+		c.z[i] = m.outputZ(s.S, i)
+		c.p[i+1] = c.p[i] + condTerm(c.z[i], c.x[i])
+		if i < m.n-1 {
+			m.stepState(s.S, s.Pre, c.x[i])
+		}
+	}
+	c.logPsi = 0.5 * c.p[m.n]
 }
 
 func (c *rnnFlipCache) LogPsi() float64 { return c.logPsi }
 
-func (c *rnnFlipCache) Delta(bit int) float64 {
-	copy(c.s.buf, c.x)
-	c.s.buf[bit] = 1 - c.s.buf[bit]
-	return c.m.LogPsiScratch(c.s.buf, c.s) - c.logPsi
+// FlipLogPsi implements TailFlipCache: re-branch site bit on the unchanged
+// base pre-activation, restart the recurrence from the recorded s_bit
+// snapshot consuming the flipped bit, and fold the tail onto the recorded
+// prefix sum — bitwise a fresh LogPsi of the flipped configuration.
+func (c *rnnFlipCache) FlipLogPsi(bit int) float64 {
+	m, s := c.m, c.s
+	nb := 1 - c.x[bit]
+	lp := c.p[bit] + condTerm(c.z[bit], nb)
+	if bit < m.n-1 {
+		copy(s.S, s.Ss.Row(bit))
+		m.stepState(s.S, s.Pre, nb)
+		for j := bit + 1; j < m.n; j++ {
+			lp += condTerm(m.outputZ(s.S, j), c.x[j])
+			if j < m.n-1 {
+				m.stepState(s.S, s.Pre, c.x[j])
+			}
+		}
+	}
+	return 0.5 * lp
 }
+
+func (c *rnnFlipCache) Delta(bit int) float64 { return c.FlipLogPsi(bit) - c.logPsi }
 
 func (c *rnnFlipCache) Flip(bit int) {
 	c.x[bit] = 1 - c.x[bit]
-	c.logPsi = c.m.LogPsiScratch(c.x, c.s)
+	c.rebase(bit)
 }
 
 func (c *rnnFlipCache) State() []int { return c.x }
 
 func (c *rnnFlipCache) Reset(x []int) {
 	copy(c.x, x)
-	c.logPsi = c.m.LogPsiScratch(c.x, c.s)
+	c.rebase(0)
 }
 
 // NewIncrementalEvaluator returns the natural sequential RNN evaluator
@@ -315,4 +411,5 @@ var (
 	_ Autoregressive       = (*RNNWavefunction)(nil)
 	_ CacheBuilder         = (*RNNWavefunction)(nil)
 	_ GradEvaluatorBuilder = (*RNNWavefunction)(nil)
+	_ TailFlipCache        = (*rnnFlipCache)(nil)
 )

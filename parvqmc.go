@@ -121,7 +121,8 @@ func (p *Problem) ExactGroundEnergy() (float64, error) {
 // autoregressive sampling, Adam with learning rate 0.01, batch 1024, 300
 // iterations.
 type Options struct {
-	// Model selects the wavefunction: "made" (default) or "rbm".
+	// Model selects the wavefunction: "made" (default), "rbm", "nade" or
+	// "rnn".
 	Model string
 	// Hidden overrides the latent size (default: 5(ln n)^2 for MADE, n for
 	// RBM).
@@ -354,7 +355,13 @@ func Train(p *Problem, o Options) (*Result, error) {
 		m := nn.NewNADE(n, o.Hidden, r.Split())
 		model = m
 		switch o.Sampler {
-		case "auto", "auto-naive": // NADE's evaluation is inherently incremental
+		case "auto":
+			if batched {
+				smp = sampler.NewAutoBatched(n, m, o.Workers, r.Split())
+			} else {
+				smp = sampler.NewAuto(n, m.NewIncrementalEvaluator, o.Workers, r.Split())
+			}
+		case "auto-naive": // NADE's scalar evaluation is inherently incremental
 			smp = sampler.NewAuto(n, m.NewIncrementalEvaluator, o.Workers, r.Split())
 		case "mcmc":
 			smp = sampler.NewMCMC(m, mcmcCfg, r.Split())
@@ -365,7 +372,13 @@ func Train(p *Problem, o Options) (*Result, error) {
 		m := nn.NewRNN(n, o.Hidden, r.Split())
 		model = m
 		switch o.Sampler {
-		case "auto", "auto-naive":
+		case "auto":
+			if batched {
+				smp = sampler.NewAutoBatched(n, m, o.Workers, r.Split())
+			} else {
+				smp = sampler.NewAuto(n, m.NewIncrementalEvaluator, o.Workers, r.Split())
+			}
+		case "auto-naive":
 			smp = sampler.NewAuto(n, m.NewIncrementalEvaluator, o.Workers, r.Split())
 		case "mcmc":
 			smp = sampler.NewMCMC(m, mcmcCfg, r.Split())
@@ -411,8 +424,9 @@ func Train(p *Problem, o Options) (*Result, error) {
 // TrainDistributed runs the paper's data-parallel scheme: devices replicas
 // (goroutines) each sample miniBatch configurations per iteration, gradients
 // are combined with a ring all-reduce, and every replica applies the same
-// update. The effective batch is devices*miniBatch. Only MADE+AUTO is
-// supported, matching the paper's scalability experiments.
+// update. The effective batch is devices*miniBatch. The autoregressive
+// families (made, nade, rnn) are supported, each with exact ancestral
+// sampling, matching the paper's scalability experiments.
 //
 // With Options.StochasticReconfig set, the gradient is preconditioned by
 // distributed SR: each replica keeps only its private O_k rows and the
@@ -429,8 +443,10 @@ func TrainDistributed(p *Problem, o Options, devices, miniBatch int) (*Result, e
 	if err := o.fill(n); err != nil {
 		return nil, err
 	}
-	if o.Model != "made" {
-		return nil, fmt.Errorf("parvqmc: distributed training supports the made model only")
+	switch o.Model {
+	case "made", "nade", "rnn":
+	default:
+		return nil, fmt.Errorf("parvqmc: distributed training supports the autoregressive models (made, nade, rnn)")
 	}
 	if devices <= 0 || miniBatch <= 0 {
 		return nil, fmt.Errorf("parvqmc: devices and miniBatch must be positive")
@@ -444,14 +460,36 @@ func TrainDistributed(p *Problem, o Options, devices, miniBatch int) (*Result, e
 	streams := rng.New(o.Seed).SplitN(devices)
 	reps := make([]dist.Replica, devices)
 	for rdev := 0; rdev < devices; rdev++ {
-		m := nn.NewMADE(n, o.Hidden, rng.New(o.Seed+12345)) // identical init
-		opt, sr := o.buildOptimizer()
+		init := rng.New(o.Seed + 12345) // identical init on every replica
+		var m dist.Model
 		var smp sampler.Sampler
-		if o.batchedOn() {
-			smp = sampler.NewAutoBatched(n, m, 1, streams[rdev])
-		} else {
-			smp = sampler.NewAutoMADE(m, true, 1, streams[rdev])
+		switch o.Model {
+		case "made":
+			mm := nn.NewMADE(n, o.Hidden, init)
+			m = mm
+			if o.batchedOn() {
+				smp = sampler.NewAutoBatched(n, mm, 1, streams[rdev])
+			} else {
+				smp = sampler.NewAutoMADE(mm, true, 1, streams[rdev])
+			}
+		case "nade":
+			mm := nn.NewNADE(n, o.Hidden, init)
+			m = mm
+			if o.batchedOn() {
+				smp = sampler.NewAutoBatched(n, mm, 1, streams[rdev])
+			} else {
+				smp = sampler.NewAuto(n, mm.NewIncrementalEvaluator, 1, streams[rdev])
+			}
+		case "rnn":
+			mm := nn.NewRNN(n, o.Hidden, init)
+			m = mm
+			if o.batchedOn() {
+				smp = sampler.NewAutoBatched(n, mm, 1, streams[rdev])
+			} else {
+				smp = sampler.NewAuto(n, mm.NewIncrementalEvaluator, 1, streams[rdev])
+			}
 		}
+		opt, sr := o.buildOptimizer()
 		reps[rdev] = dist.Replica{
 			Model:   m,
 			Smp:     smp,
