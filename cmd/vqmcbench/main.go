@@ -1,14 +1,19 @@
 // Command vqmcbench times the scalar (per-sample) evaluation path against
 // the batched GEMM path and writes the results as JSON, giving the repo a
 // recorded perf trajectory across PRs (BENCH_pr4.json, BENCH_pr5.json,
-// BENCH_pr7.json). The two paths are bitwise identical, so every
-// comparison is pure throughput.
+// BENCH_pr7.json, BENCH_pr8.json). The two paths are bitwise identical, so
+// every comparison is pure throughput.
 //
-//	vqmcbench -out BENCH_pr7.json                  # acceptance point, n=32 h=64 B=1024
+//	vqmcbench -out BENCH_pr8.json                  # acceptance point, n=32 h=64 B=1024
 //	vqmcbench -quick -out /tmp/smoke.json          # CI smoke (seconds)
 //	vqmcbench -model rbm -quick                    # RBM batched-path smoke
 //	vqmcbench -model nade -quick                   # NADE batched-path smoke
-//	vqmcbench -workers 1,4,8                       # worker sweep
+//	GOMAXPROCS=4 vqmcbench -model all -workers 1,2,4   # worker-scaling matrix
+//
+// A -workers sweep emits one JSON row per (phase, model, worker count), and
+// every row records the gomaxprocs/num_cpu it ran under, so scaling curves
+// in a committed report are self-describing even when rows were produced on
+// different boxes or under different GOMAXPROCS pins.
 //
 // For the autoregressive families the report also carries the tail-only
 // acceptance ratio: the "LocalEnergiesTailVsPR4" (MADE) and
@@ -38,15 +43,19 @@ import (
 
 // Result is one scalar-vs-batched (or reference-vs-tail) comparison.
 type Result struct {
-	Name      string  `json:"name"`
-	Model     string  `json:"model"`
-	N         int     `json:"n"`
-	Hidden    int     `json:"hidden"`
-	Batch     int     `json:"batch"`
-	Workers   int     `json:"workers"`
-	ScalarNS  float64 `json:"scalar_ns_op"`
-	BatchedNS float64 `json:"batched_ns_op"`
-	Speedup   float64 `json:"speedup"`
+	Name    string `json:"name"`
+	Model   string `json:"model"`
+	N       int    `json:"n"`
+	Hidden  int    `json:"hidden"`
+	Batch   int    `json:"batch"`
+	Workers int    `json:"workers"`
+	// GOMAXPROCS and NumCPU are recorded per row (not just per report) so a
+	// worker-scaling row names the parallelism budget it actually ran under.
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
+	ScalarNS   float64 `json:"scalar_ns_op"`
+	BatchedNS  float64 `json:"batched_ns_op"`
+	Speedup    float64 `json:"speedup"`
 }
 
 // Report is the emitted JSON document.
@@ -83,7 +92,7 @@ func main() {
 		workers = flag.String("workers", "", "comma-separated worker counts (default: 1 and GOMAXPROCS)")
 		minMS   = flag.Int("min-ms", 2000, "minimum measurement time per case, milliseconds")
 		quick   = flag.Bool("quick", false, "CI smoke: tiny sizes, one short measurement per case")
-		out     = flag.String("out", "BENCH_pr7.json", "output JSON path")
+		out     = flag.String("out", "BENCH_pr8.json", "output JSON path")
 	)
 	flag.Parse()
 
@@ -112,22 +121,41 @@ func main() {
 		}
 	}
 	minDur := time.Duration(*minMS) * time.Millisecond
+	maxW := 1
+	for _, w := range wlist {
+		if w > maxW {
+			maxW = w
+		}
+	}
 
 	rep := Report{
-		PR:         "pr7-nade-rnn-batched-dist",
+		PR:         "pr8-worker-scaling",
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		GoVersion:  runtime.Version(),
 		Note: "scalar vs batched ns per call; paths are bitwise identical. " +
 			"LocalEnergies/FillOws are per batch, AutoSample per batch, TrainStep per iteration. " +
 			"LocalEnergiesTailVsPR4 (MADE) and LocalEnergiesTailVsFull (NADE, RNN) time the " +
-			"full-recompute flip reference against the tail-only super-batch.",
+			"full-recompute flip reference against the tail-only super-batch. " +
+			"Rows carry their own gomaxprocs/num_cpu; compare rows at equal names across " +
+			"workers for scaling curves.",
+	}
+	if ncpu := runtime.NumCPU(); ncpu < maxW {
+		// A worker sweep wider than the physical core count cannot show
+		// real scaling; say so in the record instead of letting flat curves
+		// read as a parallelization bug.
+		rep.Note += fmt.Sprintf(" BOTTLENECK: this box exposes only %d CPU(s) for a max worker count of %d;"+
+			" rows with workers > num_cpu time-slice on the same core(s), so their ratios measure"+
+			" scheduling overhead, not multi-core scaling.", ncpu, maxW)
+		log.Printf("note: num_cpu=%d < max workers=%d; scaling ratios are scheduler-bound", ncpu, maxW)
 	}
 
 	emit := func(r Result) {
+		r.GOMAXPROCS = runtime.GOMAXPROCS(0)
+		r.NumCPU = runtime.NumCPU()
 		rep.Results = append(rep.Results, r)
-		fmt.Printf("%-24s %-4s n=%d h=%d B=%d w=%d: %8.2fms vs %8.2fms (%.2fx)\n",
-			r.Name, r.Model, r.N, r.Hidden, r.Batch, r.Workers,
+		fmt.Printf("%-24s %-4s n=%d h=%d B=%d w=%d procs=%d: %8.2fms vs %8.2fms (%.2fx)\n",
+			r.Name, r.Model, r.N, r.Hidden, r.Batch, r.Workers, r.GOMAXPROCS,
 			r.ScalarNS/1e6, r.BatchedNS/1e6, r.Speedup)
 	}
 

@@ -89,7 +89,7 @@ func (e *BatchedEval) Evaluator() nn.BatchEvaluator { return e.be }
 func (e *BatchedEval) LocalEnergies(h hamiltonian.Hamiltonian, b *sampler.Batch, workers int, out []float64) {
 	flips := h.FlipTerms()
 	if len(flips) == 0 {
-		parallel.For(b.N, workers, func(lo, hi int) {
+		parallel.ForGrain(b.N, workers, diagGrainRows, func(lo, hi int) {
 			for k := lo; k < hi; k++ {
 				out[k] = h.Diagonal(b.Row(k))
 			}
@@ -112,7 +112,9 @@ func (e *BatchedEval) LocalEnergies(h hamiltonian.Hamiltonian, b *sampler.Batch,
 	// nil base: the energy reduction exponentiates the deltas directly, so
 	// the evaluator may skip base-only work (the RBM's ln-cosh fold).
 	e.be.FlipLogPsiBatch(configs(b), bits, nil, delta)
-	parallel.For(b.N, workers, func(lo, hi int) {
+	// Per row the reduction is nf exponentials — cheap next to the GEMMs
+	// above, so small batches stay inline instead of paying dispatch.
+	parallel.ForGrain(b.N, workers, diagGrainRows, func(lo, hi int) {
 		for k := lo; k < hi; k++ {
 			l := h.Diagonal(b.Row(k))
 			row := delta[k*nf : (k+1)*nf]
@@ -144,6 +146,13 @@ func LocalEnergiesBatched(h hamiltonian.Hamiltonian, model nn.Wavefunction, b *s
 	}
 	e.LocalEnergies(h, b, workers, out)
 }
+
+// diagGrainRows is the minimum rows per parallel range for the cheap
+// per-row loops (diagonal-only energies, flip-delta exponentiation): below
+// it, dispatching a worker costs more than its rows. Grain affects only how
+// finely rows are partitioned, never per-row arithmetic, so results stay
+// bitwise identical at every worker count.
+const diagGrainRows = 64
 
 // GradBlockSize is the fixed granule of the weighted row-sum reduction: rows
 // are reduced into per-block partials (each block owned by exactly one

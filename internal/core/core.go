@@ -34,9 +34,14 @@ type Model interface {
 // forward pass each for MADE. For diagonal Hamiltonians (Max-Cut) no
 // wavefunction evaluation happens at all.
 func LocalEnergies(h hamiltonian.Hamiltonian, model nn.CacheBuilder, b *sampler.Batch, workers int, out []float64) {
+	// Materialize any lazy parameter-derived caches on this goroutine
+	// before fanning out, so no worker hits a first-use rebuild.
+	nn.Prewarm(model)
 	flips := h.FlipTerms()
 	if len(flips) == 0 {
-		parallel.For(b.N, workers, func(lo, hi int) {
+		// Diagonal-only Hamiltonians do O(n) work per row; the grain keeps
+		// tiny per-worker ranges from being dominated by dispatch overhead.
+		parallel.ForGrain(b.N, workers, diagGrainRows, func(lo, hi int) {
 			for k := lo; k < hi; k++ {
 				out[k] = h.Diagonal(b.Row(k))
 			}
@@ -157,6 +162,10 @@ type fallbackEvaluator struct{ m Model }
 func (f fallbackEvaluator) GradLogPsi(x []int, g tensor.Vector) { f.m.GradLogPsi(x, g) }
 func (f fallbackEvaluator) LogPsi(x []int) float64              { return f.m.LogPsi(x) }
 
+// PrewarmCaches forwards to the wrapped model so FillOws's coordinator-side
+// pre-warm reaches models with lazy parameter-derived caches.
+func (f fallbackEvaluator) PrewarmCaches() { nn.Prewarm(f.m) }
+
 // Config returns the effective configuration.
 func (t *Trainer) Config() Config { return t.cfg }
 
@@ -166,6 +175,9 @@ func (t *Trainer) Timings() Timings { return t.timings }
 // Step runs one VQMC iteration and returns its statistics.
 func (t *Trainer) Step() IterStats {
 	t.iter++
+	// Rebuild any stale parameter-derived caches once, on this goroutine,
+	// before the sampler or the evaluation paths fan work out to workers.
+	nn.Prewarm(t.Model)
 	t0 := time.Now()
 	t.Smp.Sample(t.batch)
 	t1 := time.Now()
@@ -206,6 +218,13 @@ func (t *Trainer) Step() IterStats {
 // so the result is bitwise identical for every worker count — the property
 // the distributed trainer's two-level replica x worker scheme relies on.
 func FillOws(evals []nn.GradEvaluator, b *sampler.Batch, ows *tensor.Batch, workers int) {
+	// Pre-warm through the first evaluator in case the per-worker
+	// evaluators share one underlying model with lazy caches (the fallback
+	// evaluator wraps the model directly; dedicated GradEvaluators own
+	// their scratch but may still read shared parameter-derived caches).
+	if len(evals) > 0 {
+		nn.Prewarm(evals[0])
+	}
 	ranges := parallel.Partition(b.N, workers)
 	parallel.ForEach(len(ranges), workers, func(w int) {
 		ev := evals[w]

@@ -209,24 +209,32 @@ type confRun struct {
 	params [][]float64
 }
 
-func confSerial(t *testing.T, mc confModel, ham hamiltonian.Hamiltonian, mode core.EvalMode) confRun {
+// confWorkers is the trainer/replica worker count of the reference cells.
+// The Workers axis below varies ONLY this knob: the samplers are built with
+// their own worker count pinned at 1, because sampler workers own RNG
+// sub-streams and slabs — a sampler-level worker change legitimately changes
+// which uniforms each sample consumes, while trainer workers must never
+// change anything.
+const confWorkers = 2
+
+func confSerial(t *testing.T, mc confModel, ham hamiltonian.Hamiltonian, mode core.EvalMode, workers int) confRun {
 	t.Helper()
 	m := mc.build(rng.New(703))
 	smp := mc.smp(m, mode, rng.New(704))
 	tr := core.New(ham, m, smp, optimizer.NewSGD(0.05),
-		core.Config{BatchSize: confMB, Workers: 2, Eval: mode})
+		core.Config{BatchSize: confMB, Workers: workers, Eval: mode})
 	hist := tr.Train(confSteps, nil)
 	return confRun{hist: hist, params: [][]float64{append([]float64(nil), m.Params()...)}}
 }
 
-func confDist(t *testing.T, mc confModel, ham hamiltonian.Hamiltonian, mode core.EvalMode, L int) confRun {
+func confDist(t *testing.T, mc confModel, ham hamiltonian.Hamiltonian, mode core.EvalMode, L, workers int) confRun {
 	t.Helper()
 	streams := rng.New(705).SplitN(L)
 	reps := make([]Replica, L)
 	for r := 0; r < L; r++ {
 		m := mc.build(rng.New(703))
 		reps[r] = Replica{Model: m, Smp: mc.smp(m, mode, streams[r]),
-			Opt: optimizer.NewSGD(0.05), Workers: 2, Eval: mode}
+			Opt: optimizer.NewSGD(0.05), Workers: workers, Eval: mode}
 	}
 	tr, err := New(ham, reps, confMB)
 	if err != nil {
@@ -266,6 +274,30 @@ func assertConfEqual(t *testing.T, ref, got confRun, mode core.EvalMode) {
 	}
 }
 
+// assertConfEqualWorkers is assertConfEqual with the worker count in the
+// failure message, for the Workers-axis cells.
+func assertConfEqualWorkers(t *testing.T, ref, got confRun, mode core.EvalMode, workers int) {
+	t.Helper()
+	if len(ref.hist) != len(got.hist) {
+		t.Fatalf("%s workers=%d: history length %d, want %d",
+			evalModeName(mode), workers, len(got.hist), len(ref.hist))
+	}
+	for i := range ref.hist {
+		if ref.hist[i] != got.hist[i] {
+			t.Fatalf("%s workers=%d iter %d: %+v != reference %+v (worker count perturbed the trajectory)",
+				evalModeName(mode), workers, i, got.hist[i], ref.hist[i])
+		}
+	}
+	for r := range ref.params {
+		for i := range ref.params[r] {
+			if ref.params[r][i] != got.params[r][i] {
+				t.Fatalf("%s workers=%d replica %d param %d: %v != reference %v (bit-identity broken)",
+					evalModeName(mode), workers, r, i, got.params[r][i], ref.params[r][i])
+			}
+		}
+	}
+}
+
 // TestEvalConformanceMatrix is the table-driven conformance suite capping
 // the batched-stack work: model {MADE, RBM, NADE, RNN} x Hamiltonian
 // {transverse-field Ising, QUBO} x topology {serial trainer, distributed
@@ -275,6 +307,14 @@ func assertConfEqual(t *testing.T, ref, got confRun, mode core.EvalMode) {
 // already its only evaluation path, EvalFullFlip deliberately falls back to
 // EvalAuto and the cell pins that fallback.) Topologies are NOT compared to
 // each other — they consume sampler streams differently by design.
+//
+// The Workers axis (confWorkerCounts) then re-runs the scalar and batched
+// paths of every cell at trainer/replica worker counts {1, 3, 4, 8} against
+// the same workers=2 reference: worker count is a pure throughput knob, so a
+// single diverging bit at any width is a doctrine violation. Sampler workers
+// stay pinned at 1 throughout — see confWorkers.
+var confWorkerCounts = []int{1, 3, 4, 8}
+
 func TestEvalConformanceMatrix(t *testing.T) {
 	hams := []struct {
 		name  string
@@ -285,14 +325,14 @@ func TestEvalConformanceMatrix(t *testing.T) {
 	}
 	topos := []struct {
 		name string
-		run  func(t *testing.T, mc confModel, ham hamiltonian.Hamiltonian, mode core.EvalMode) confRun
+		run  func(t *testing.T, mc confModel, ham hamiltonian.Hamiltonian, mode core.EvalMode, workers int) confRun
 	}{
 		{"serial", confSerial},
-		{"dist1", func(t *testing.T, mc confModel, ham hamiltonian.Hamiltonian, mode core.EvalMode) confRun {
-			return confDist(t, mc, ham, mode, 1)
+		{"dist1", func(t *testing.T, mc confModel, ham hamiltonian.Hamiltonian, mode core.EvalMode, workers int) confRun {
+			return confDist(t, mc, ham, mode, 1, workers)
 		}},
-		{"dist3", func(t *testing.T, mc confModel, ham hamiltonian.Hamiltonian, mode core.EvalMode) confRun {
-			return confDist(t, mc, ham, mode, 3)
+		{"dist3", func(t *testing.T, mc confModel, ham hamiltonian.Hamiltonian, mode core.EvalMode, workers int) confRun {
+			return confDist(t, mc, ham, mode, 3, workers)
 		}},
 	}
 	for _, mc := range confModels() {
@@ -300,9 +340,15 @@ func TestEvalConformanceMatrix(t *testing.T) {
 			for _, tc := range topos {
 				t.Run(fmt.Sprintf("%s/%s/%s", mc.name, hc.name, tc.name), func(t *testing.T) {
 					ham := hc.build()
-					ref := tc.run(t, mc, ham, core.EvalScalar)
+					ref := tc.run(t, mc, ham, core.EvalScalar, confWorkers)
 					for _, mode := range []core.EvalMode{core.EvalAuto, core.EvalFullFlip} {
-						assertConfEqual(t, ref, tc.run(t, mc, ham, mode), mode)
+						assertConfEqual(t, ref, tc.run(t, mc, ham, mode, confWorkers), mode)
+					}
+					for _, w := range confWorkerCounts {
+						for _, mode := range []core.EvalMode{core.EvalScalar, core.EvalAuto} {
+							got := tc.run(t, mc, ham, mode, w)
+							assertConfEqualWorkers(t, ref, got, mode, w)
+						}
 					}
 				})
 			}

@@ -573,6 +573,11 @@ func (t *Trainer) replicaStep(r int) error {
 	rep, st := t.Reps[r], t.state[r]
 	sw := startWatch(r == 0)
 
+	// Rebuild any stale parameter-derived caches on this replica's
+	// coordinating goroutine before the sampler or evaluation paths fan
+	// out across the replica's workers. Each replica owns a private model,
+	// so replicas never contend on each other's caches.
+	nn.Prewarm(rep.Model)
 	rep.Smp.Sample(st.batch)
 	sw.lap(&t.timings.Sample)
 

@@ -120,3 +120,19 @@ func InvalidateParams(w Wavefunction) {
 		v.InvalidateParams()
 	}
 }
+
+// Prewarm materializes any lazy parameter-derived caches the model keeps
+// (MADE's masked-weight products, NADE's V^T/W^T layouts, the RBM's W^T;
+// the RNN has none) for the current parameter version. Coordinators call it
+// before fanning evaluation out to workers so the rebuild happens once, up
+// front, on the coordinating goroutine instead of surprising the first
+// worker that needs it. Rebuilds are mutex-serialized inside each model, so
+// skipping Prewarm is a latency cost, never a data race; it is a no-op for
+// models without derived caches. The parameter is any (rather than
+// Wavefunction) so call sites that only hold a narrower view of the model
+// (CacheBuilder, GradEvaluator) can still pre-warm it.
+func Prewarm(model any) {
+	if p, ok := model.(interface{ PrewarmCaches() }); ok {
+		p.PrewarmCaches()
+	}
+}

@@ -2,6 +2,7 @@ package nn
 
 import (
 	"math"
+	"sync"
 
 	"github.com/vqmc-scale/parvqmc/internal/rng"
 	"github.com/vqmc-scale/parvqmc/internal/tensor"
@@ -56,7 +57,10 @@ type MADE struct {
 	// (throughput-bound instead of latency-bound) while still summing each
 	// element in the scalar kernels' ascending contraction order. version
 	// is bumped by InvalidateParams; wmVersion records the version the
-	// cache was built at (0 = never built).
+	// cache was built at (0 = never built). cacheMu serializes rebuilds so
+	// concurrent first use from several goroutines (e.g. two BatchEvaluators
+	// sharing one model) builds the cache exactly once; see PrewarmCaches.
+	cacheMu    sync.Mutex
 	version    uint64
 	wmVersion  uint64
 	wm1t, wm2t *tensor.Matrix
@@ -147,8 +151,21 @@ func NewMADE(n, h int, r *rng.Rand) *MADE {
 
 // InvalidateParams marks the masked-weight cache stale. It must be called
 // after any in-place mutation of Params() (optimizer steps, checkpoint
-// loads); trainers do this through nn.InvalidateParams.
-func (m *MADE) InvalidateParams() { m.version++ }
+// loads); trainers do this through nn.InvalidateParams. Parameter mutation
+// itself still requires evaluation quiescence — the mutex below only makes
+// cache rebuilds safe, not in-place writes to Params().
+func (m *MADE) InvalidateParams() {
+	m.cacheMu.Lock()
+	m.version++
+	m.cacheMu.Unlock()
+}
+
+// PrewarmCaches materializes the masked-weight cache for the current
+// parameter version. Coordinators call it (via nn.Prewarm) before fanning
+// work out to workers so no worker pays the rebuild; rebuilds are
+// mutex-serialized either way, so this is a latency optimization, not a
+// safety requirement.
+func (m *MADE) PrewarmCaches() { m.maskedWeights() }
 
 // maskedWeights returns (W1.M1)^T and (W2.M2)^T, rebuilding the cached
 // products if the parameters changed since the last build. Because the
@@ -156,9 +173,14 @@ func (m *MADE) InvalidateParams() { m.version++ }
 // signed zero — bit-for-bit the first factor of the scalar kernel's w*m*x
 // product — so GEMMs over the cache reproduce MaskedMulVec exactly
 // (multiplication commutes bitwise, and transposition is pure layout).
-// Not safe for concurrent first use; the batched paths call it from the
-// coordinating goroutine before fanning out.
+// Safe for concurrent use: rebuilds are serialized by cacheMu, so racing
+// first users build once and share the result. The cached matrices are
+// immutable between InvalidateParams calls, and InvalidateParams requires
+// evaluation quiescence, so returned pointers stay valid for the whole
+// parallel section.
 func (m *MADE) maskedWeights() (wm1t, wm2t *tensor.Matrix) {
+	m.cacheMu.Lock()
+	defer m.cacheMu.Unlock()
 	if m.wmVersion != m.version {
 		if m.wm1t == nil {
 			m.wm1t = tensor.NewMatrix(m.n, m.h)

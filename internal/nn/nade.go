@@ -35,6 +35,9 @@ type NADE struct {
 	// accumulate adds one contiguous row per set bit. Both are materialized
 	// once per parameter version (the RBM weightsT idiom); version is bumped
 	// by InvalidateParams, tVersion records the build version (0 = never).
+	// cacheMu serializes rebuilds so concurrent first use builds once; see
+	// PrewarmCaches.
+	cacheMu  sync.Mutex
 	version  uint64
 	tVersion uint64
 	vt, wt   *tensor.Matrix
@@ -120,13 +123,30 @@ func (m *NADE) Params() tensor.Vector { return m.theta }
 // InvalidateParams marks the transposed-layout caches stale. It must be
 // called after every in-place parameter mutation (optimizer steps,
 // checkpoint loads); trainers do this through nn.InvalidateParams.
-func (m *NADE) InvalidateParams() { m.version++ }
+// Parameter mutation itself still requires evaluation quiescence — the
+// mutex below only makes cache rebuilds safe, not in-place Params() writes.
+func (m *NADE) InvalidateParams() {
+	m.cacheMu.Lock()
+	m.version++
+	m.cacheMu.Unlock()
+}
+
+// PrewarmCaches materializes the transposed-layout caches for the current
+// parameter version. Coordinators call it (via nn.Prewarm) before fanning
+// work out to workers so no worker pays the rebuild; rebuilds are
+// mutex-serialized either way, so this is a latency optimization, not a
+// safety requirement.
+func (m *NADE) PrewarmCaches() { m.transposed() }
 
 // transposed returns the cached V^T (h x n) and W^T (n x h) layouts the
 // batched paths contract against, rebuilding them if the parameters changed
-// since the last build. Not safe for concurrent first use; the batched paths
-// call it from the coordinating goroutine before fanning out.
+// since the last build. Safe for concurrent use: rebuilds are serialized by
+// cacheMu, and the cached matrices are immutable between InvalidateParams
+// calls (which require evaluation quiescence), so returned pointers stay
+// valid for the whole parallel section.
 func (m *NADE) transposed() (vt, wt *tensor.Matrix) {
+	m.cacheMu.Lock()
+	defer m.cacheMu.Unlock()
 	if m.tVersion != m.version {
 		if m.vt == nil {
 			m.vt = tensor.NewMatrix(m.h, m.n)

@@ -2,6 +2,7 @@ package nn
 
 import (
 	"math"
+	"sync"
 
 	"github.com/vqmc-scale/parvqmc/internal/rng"
 	"github.com/vqmc-scale/parvqmc/internal/tensor"
@@ -34,6 +35,9 @@ type RBM struct {
 	// every product S_i * W_ki is the scalar MulVec product with operands
 	// commuted, which is bitwise identical). version is bumped by
 	// InvalidateParams; wtVersion records the build version (0 = never).
+	// cacheMu serializes rebuilds so concurrent first use builds once; see
+	// PrewarmCaches.
+	cacheMu   sync.Mutex
 	version   uint64
 	wtVersion uint64
 	wt        *tensor.Matrix
@@ -72,12 +76,29 @@ func NewRBM(n, h int, r *rng.Rand) *RBM {
 // InvalidateParams marks the transposed-weight cache stale. It must be
 // called after any in-place mutation of Params() (optimizer steps,
 // checkpoint loads); trainers do this through nn.InvalidateParams.
-func (m *RBM) InvalidateParams() { m.version++ }
+// Parameter mutation itself still requires evaluation quiescence — the
+// mutex below only makes cache rebuilds safe, not in-place Params() writes.
+func (m *RBM) InvalidateParams() {
+	m.cacheMu.Lock()
+	m.version++
+	m.cacheMu.Unlock()
+}
+
+// PrewarmCaches materializes the transposed-weight cache for the current
+// parameter version. Coordinators call it (via nn.Prewarm) before fanning
+// work out to workers so no worker pays the rebuild; rebuilds are
+// mutex-serialized either way, so this is a latency optimization, not a
+// safety requirement.
+func (m *RBM) PrewarmCaches() { m.weightsT() }
 
 // weightsT returns W^T, rebuilding the cached transpose if the parameters
-// changed since the last build. Not safe for concurrent first use; the
-// batched paths call it from the coordinating goroutine before fanning out.
+// changed since the last build. Safe for concurrent use: rebuilds are
+// serialized by cacheMu, and the cached matrix is immutable between
+// InvalidateParams calls (which require evaluation quiescence), so the
+// returned pointer stays valid for the whole parallel section.
 func (m *RBM) weightsT() *tensor.Matrix {
+	m.cacheMu.Lock()
+	defer m.cacheMu.Unlock()
 	if m.wtVersion != m.version {
 		if m.wt == nil {
 			m.wt = tensor.NewMatrix(m.n, m.h)

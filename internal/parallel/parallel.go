@@ -1,12 +1,21 @@
 // Package parallel provides small building blocks for data-parallel loops:
-// a grain-controlled parallel for, index-range partitioning, and per-worker
-// reduction buffers. They follow the channel-of-completions idiom so callers
-// never manage goroutine lifecycles directly.
+// a parallel for with an optional grain threshold (ForGrain), index-range
+// partitioning, and per-worker reduction buffers. Parallel sections are
+// dispatched through a process-wide persistent worker pool so hot loops that
+// fan out every iteration (the trainer, the batched evaluators) do not pay
+// goroutine startup each time; callers never manage goroutine lifecycles
+// directly.
+//
+// Worker count is a throughput knob only: every helper invokes its body on
+// exactly the same index ranges for a given (n, workers) pair regardless of
+// how the ranges are scheduled, so results stay bitwise identical whether
+// ranges run inline, on pooled workers, or on freshly spawned goroutines.
 package parallel
 
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // MaxWorkers is the default worker count for For and Map.
@@ -35,9 +44,68 @@ func Partition(n, parts int) []Range {
 	return out
 }
 
+// poolTask is one unit of work handed to a persistent pool worker.
+type poolTask struct {
+	fn   func()
+	done *sync.WaitGroup
+}
+
+// poolWorker is a persistent goroutine that runs tasks one at a time and
+// re-registers itself as idle after each.
+type poolWorker struct {
+	tasks chan poolTask
+}
+
+func (w *poolWorker) loop() {
+	for t := range w.tasks {
+		t.fn()
+		// Re-register before signalling completion so back-to-back parallel
+		// sections can reclaim this worker immediately. The idle channel is
+		// sized to the spawn cap, so the send never blocks.
+		globalIdle <- w
+		t.done.Done()
+	}
+}
+
+// maxPoolWorkers caps the persistent pool. Sections wider than the cap fall
+// back to one-shot goroutines for the overflow, so nothing queues and nested
+// For calls can never deadlock: work is only ever handed to a worker that is
+// provably idle.
+const maxPoolWorkers = 64
+
+var (
+	globalIdle    = make(chan *poolWorker, maxPoolWorkers)
+	globalSpawned atomic.Int32
+)
+
+// dispatch runs fn on a persistent pool worker when one is idle, growing the
+// pool on demand up to maxPoolWorkers, and falls back to a fresh goroutine
+// beyond the cap. wg.Done is called exactly once when fn returns.
+func dispatch(fn func(), wg *sync.WaitGroup) {
+	select {
+	case w := <-globalIdle:
+		w.tasks <- poolTask{fn, wg}
+		return
+	default:
+	}
+	if globalSpawned.Add(1) <= maxPoolWorkers {
+		w := &poolWorker{tasks: make(chan poolTask, 1)}
+		go w.loop()
+		w.tasks <- poolTask{fn, wg}
+		return
+	}
+	globalSpawned.Add(-1)
+	go func() {
+		fn()
+		wg.Done()
+	}()
+}
+
 // For runs body(lo, hi) over a partition of [0,n) using up to workers
-// goroutines. workers <= 0 means MaxWorkers. With one worker or tiny n the
-// loop runs inline, so For is safe to use unconditionally on hot paths.
+// concurrent executors. workers <= 0 means MaxWorkers. With one worker or
+// tiny n the loop runs inline, so For is safe to use unconditionally on hot
+// paths; wider sections are dispatched through the persistent process-wide
+// pool, spawning goroutines only when the pool is saturated.
 func For(n, workers int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -53,13 +121,34 @@ func For(n, workers int, body func(lo, hi int)) {
 	var wg sync.WaitGroup
 	wg.Add(len(ranges) - 1)
 	for _, r := range ranges[1:] {
-		go func(r Range) {
-			defer wg.Done()
-			body(r.Lo, r.Hi)
-		}(r)
+		r := r
+		dispatch(func() { body(r.Lo, r.Hi) }, &wg)
 	}
 	body(ranges[0].Lo, ranges[0].Hi)
 	wg.Wait()
+}
+
+// ForGrain is For with a minimum per-range grain: the worker count is capped
+// so every executed range spans at least grain indices, and the whole loop
+// runs inline once n <= grain. Use it for cheap per-element bodies (zeroing,
+// copies, elementwise maps) where dispatch overhead would dominate below the
+// threshold; grain <= 1 is plain For. For a given effective partition the
+// executed index ranges are identical to For's, so the grain choice affects
+// scheduling only, never results.
+func ForGrain(n, workers, grain int, body func(lo, hi int)) {
+	if grain > 1 && n > 0 {
+		maxParts := n / grain
+		if maxParts < 1 {
+			maxParts = 1
+		}
+		if workers <= 0 {
+			workers = MaxWorkers()
+		}
+		if workers > maxParts {
+			workers = maxParts
+		}
+	}
+	For(n, workers, body)
 }
 
 // ForEach runs body(i) for each i in [0,n) with up to workers goroutines.
@@ -73,7 +162,9 @@ func ForEach(n, workers int, body func(i int)) {
 
 // ReduceFloat64 runs body over a partition of [0,n), giving each worker a
 // private accumulator slice of length dim; partial results are summed into a
-// fresh slice. It is the shared-nothing alternative to atomic adds.
+// fresh slice in partition order, so the reduction is deterministic for a
+// given (n, workers) pair. It is the shared-nothing alternative to atomic
+// adds.
 func ReduceFloat64(n, workers, dim int, body func(lo, hi int, acc []float64)) []float64 {
 	if workers <= 0 {
 		workers = MaxWorkers()
@@ -86,12 +177,12 @@ func ReduceFloat64(n, workers, dim int, body func(lo, hi int, acc []float64)) []
 	var wg sync.WaitGroup
 	wg.Add(len(ranges))
 	for w, r := range ranges {
-		go func(w int, r Range) {
-			defer wg.Done()
+		w, r := w, r
+		dispatch(func() {
 			acc := make([]float64, dim)
 			body(r.Lo, r.Hi, acc)
 			parts[w] = acc
-		}(w, r)
+		}, &wg)
 	}
 	wg.Wait()
 	total := make([]float64, dim)
@@ -106,10 +197,19 @@ func ReduceFloat64(n, workers, dim int, body func(lo, hi int, acc []float64)) []
 // Pool is a fixed-size worker pool for repeatedly dispatching batches of
 // closures; it amortizes goroutine startup across many small parallel
 // sections (e.g. one VQMC iteration).
+//
+// Contracts (enforced with panics, best-effort under racing misuse):
+//   - Run is single-caller: at most one Run may be in flight at a time.
+//     Concurrent Run calls would interleave their WaitGroup accounting and
+//     return before their own tasks finish.
+//   - Close may only be called when the pool is idle (no Run in flight) and
+//     at most once; tasks submitted after Close panic on the closed channel.
 type Pool struct {
-	tasks chan func()
-	wg    sync.WaitGroup
-	size  int
+	tasks   chan func()
+	wg      sync.WaitGroup
+	size    int
+	running atomic.Bool
+	closed  atomic.Bool
 }
 
 // NewPool starts a pool with the given number of workers (<=0 means
@@ -133,8 +233,16 @@ func NewPool(workers int) *Pool {
 // Size reports the number of workers.
 func (p *Pool) Size() int { return p.size }
 
-// Run dispatches all tasks and waits for them to finish.
+// Run dispatches all tasks and waits for them to finish. It is single-caller:
+// concurrent Run calls on the same Pool panic.
 func (p *Pool) Run(tasks ...func()) {
+	if !p.running.CompareAndSwap(false, true) {
+		panic("parallel: concurrent Pool.Run calls (Run is single-caller)")
+	}
+	defer p.running.Store(false)
+	if p.closed.Load() {
+		panic("parallel: Pool.Run after Close")
+	}
 	p.wg.Add(len(tasks))
 	for _, t := range tasks {
 		p.tasks <- t
@@ -142,5 +250,14 @@ func (p *Pool) Run(tasks ...func()) {
 	p.wg.Wait()
 }
 
-// Close shuts the pool down. The pool must be idle.
-func (p *Pool) Close() { close(p.tasks) }
+// Close shuts the pool down. The pool must be idle: Close panics if a Run is
+// in flight or the pool is already closed.
+func (p *Pool) Close() {
+	if p.running.Load() {
+		panic("parallel: Pool.Close while Run in flight (pool must be idle)")
+	}
+	if !p.closed.CompareAndSwap(false, true) {
+		panic("parallel: Pool.Close called twice")
+	}
+	close(p.tasks)
+}

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -136,5 +137,151 @@ func BenchmarkForOverhead(b *testing.B) {
 			}
 			_ = s
 		})
+	}
+}
+
+func TestForGrainVisitsAll(t *testing.T) {
+	for _, tc := range []struct{ n, workers, grain int }{
+		{1000, 8, 1}, {1000, 8, 100}, {1000, 8, 5000},
+		{7, 4, 4}, {0, 4, 16}, {1000, 0, 64},
+	} {
+		var count int64
+		visited := make([]int32, tc.n)
+		ForGrain(tc.n, tc.workers, tc.grain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&visited[i], 1)
+				atomic.AddInt64(&count, 1)
+			}
+		})
+		if count != int64(tc.n) {
+			t.Fatalf("%+v: visited %d indices", tc, count)
+		}
+		for i, v := range visited {
+			if v != 1 {
+				t.Fatalf("%+v: index %d visited %d times", tc, i, v)
+			}
+		}
+	}
+}
+
+// TestForGrainInlineBelowThreshold pins the grain contract: once n <= grain
+// the whole loop is one inline body call.
+func TestForGrainInlineBelowThreshold(t *testing.T) {
+	var calls int64
+	ForGrain(64, 8, 64, func(lo, hi int) { atomic.AddInt64(&calls, 1) })
+	if calls != 1 {
+		t.Fatalf("n<=grain made %d body calls, want 1", calls)
+	}
+	atomic.StoreInt64(&calls, 0)
+	ForGrain(129, 8, 64, func(lo, hi int) { atomic.AddInt64(&calls, 1) })
+	if calls != 2 {
+		t.Fatalf("n=129 grain=64 made %d body calls, want 2", calls)
+	}
+}
+
+// TestForGrainSameRangesAsFor pins the bitwise doctrine at the scheduling
+// layer: for the effective partition, ForGrain executes exactly the ranges
+// For would with the capped worker count.
+func TestForGrainSameRangesAsFor(t *testing.T) {
+	collect := func(run func(body func(lo, hi int))) map[Range]bool {
+		var mu sync.Mutex
+		got := map[Range]bool{}
+		run(func(lo, hi int) {
+			mu.Lock()
+			got[Range{lo, hi}] = true
+			mu.Unlock()
+		})
+		return got
+	}
+	a := collect(func(b func(lo, hi int)) { ForGrain(1000, 8, 300, b) })
+	b := collect(func(b2 func(lo, hi int)) { For(1000, 3, b2) })
+	if len(a) != len(b) {
+		t.Fatalf("range sets differ: %v vs %v", a, b)
+	}
+	for r := range a {
+		if !b[r] {
+			t.Fatalf("ForGrain range %v not produced by For", r)
+		}
+	}
+}
+
+// TestForNestedNoDeadlock exercises nested fan-out through the persistent
+// pool: inner For calls run while every outer range occupies an executor.
+// The pool hands work only to provably idle workers (spawning otherwise), so
+// this must complete rather than deadlock.
+func TestForNestedNoDeadlock(t *testing.T) {
+	var total int64
+	For(16, 16, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			For(100, 4, func(l, h int) {
+				atomic.AddInt64(&total, int64(h-l))
+			})
+		}
+	})
+	if total != 1600 {
+		t.Fatalf("nested total = %d, want 1600", total)
+	}
+}
+
+// TestForPoolReuse pins that repeated parallel sections are served by the
+// persistent pool rather than unbounded goroutine growth: after a warm-up
+// sweep, thousands of For calls must not push the spawn counter past the cap.
+func TestForPoolReuse(t *testing.T) {
+	for i := 0; i < 2000; i++ {
+		For(256, 8, func(lo, hi int) {
+			s := 0.0
+			for j := lo; j < hi; j++ {
+				s += float64(j)
+			}
+			_ = s
+		})
+	}
+	if n := globalSpawned.Load(); n > maxPoolWorkers {
+		t.Fatalf("spawn counter %d exceeds cap %d", n, maxPoolWorkers)
+	}
+}
+
+func TestPoolCloseTwicePanics(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Close did not panic")
+		}
+	}()
+	p.Close()
+}
+
+func TestPoolRunAfterClosePanics(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run after Close did not panic")
+		}
+	}()
+	p.Run(func() {})
+}
+
+func TestPoolConcurrentRunPanics(t *testing.T) {
+	p := NewPool(2)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	firstDone := make(chan struct{})
+	go func() {
+		defer close(firstDone)
+		p.Run(func() { close(started); <-release })
+	}()
+	<-started
+	panicked := false
+	func() {
+		defer func() { panicked = recover() != nil }()
+		p.Run(func() {})
+	}()
+	close(release)
+	<-firstDone
+	p.Close()
+	if !panicked {
+		t.Fatal("concurrent Run did not panic")
 	}
 }

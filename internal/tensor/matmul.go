@@ -283,6 +283,23 @@ func MatMulT(dst, a, b *Matrix, workers int) {
 	})
 }
 
+// rowGrain is the minimum number of rows per parallel range for cheap
+// O(cols)-per-row bodies (bias adds): small enough work per row that
+// dispatching a worker for a handful of rows costs more than the rows
+// themselves. Sized so one range covers at least ~2048 elements. Grain only
+// caps how finely rows are partitioned — each row's arithmetic is untouched,
+// so results stay bitwise identical at every worker count.
+func rowGrain(cols int) int {
+	if cols < 1 {
+		return 2048
+	}
+	g := 2048 / cols
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
 // AddRowBias adds bias to every row of m (bias length m.Cols), parallelized
 // over rows. Each element sees exactly one addition, performed after the
 // row's products are fully accumulated — the same "dot first, bias second"
@@ -291,7 +308,7 @@ func AddRowBias(m *Matrix, bias Vector, workers int) {
 	if len(bias) != m.Cols {
 		panic("tensor: AddRowBias length mismatch")
 	}
-	parallel.For(m.Rows, workers, func(lo, hi int) {
+	parallel.ForGrain(m.Rows, workers, rowGrain(m.Cols), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			row := m.Data[i*m.Cols : (i+1)*m.Cols]
 			for j, bv := range bias {
@@ -316,7 +333,7 @@ func AddRowBiasCols(m *Matrix, bias Vector, j0, j1, workers int) {
 		return
 	}
 	sub := bias[j0:j1]
-	parallel.For(m.Rows, workers, func(lo, hi int) {
+	parallel.ForGrain(m.Rows, workers, rowGrain(j1-j0), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			row := m.Data[i*m.Cols+j0 : i*m.Cols+j1]
 			for j, bv := range sub {
