@@ -8,6 +8,7 @@
 //	vqmc -problem tim -n 12 -exact            # compare against Lanczos
 //	vqmc -problem tim -n 20 -devices 4 -mbs 4 # data-parallel training
 //	vqmc -problem tim -n 14 -devices 4 -mbs 16 -optimizer sgd -sr -sr-solver pipelined
+//	vqmc -problem tim -n 16 -devices 4 -mbs 8 -elastic -min-replicas 2 -checkpoint-dir ckpt
 package main
 
 import (
@@ -44,6 +45,9 @@ func main() {
 		devices = flag.Int("devices", 1, "data-parallel device count (autoregressive models)")
 		workers = flag.Int("workers", 0, "CPU workers (serial: 0 = all cores; per replica with -devices: 0 = 1)")
 		mbs     = flag.Int("mbs", 0, "per-device mini-batch for -devices > 1")
+		elastic = flag.Bool("elastic", false, "supervise distributed training: replace failed replicas, shrink to survivors, re-grow")
+		minRep  = flag.Int("min-replicas", 1, "elastic membership floor; below it the run aborts with a final checkpoint")
+		ckptDir = flag.String("checkpoint-dir", "", "directory for elastic recovery/final checkpoints (empty = in-memory)")
 		doExact = flag.Bool("exact", false, "also compute the exact ground energy (small n)")
 		curve   = flag.Bool("curve", false, "print the per-iteration training curve")
 		save    = flag.String("save", "", "write the trained model checkpoint to this path")
@@ -66,6 +70,7 @@ func main() {
 		Iterations: *iters, EvalBatch: *evalB, Workers: *workers, Seed: *seed,
 		MCMCBurnIn: *burnIn, MCMCThin: *thin, MCMCChains: *chains,
 		BatchedEval: batched,
+		Elastic:     *elastic, MinReplicas: *minRep, CheckpointDir: *ckptDir,
 	}
 
 	var res *parvqmc.Result
@@ -88,6 +93,13 @@ func main() {
 	fmt.Printf("energy       %.6f +- %.6f (eval batch %d)\n", res.Energy, res.Std, *evalB)
 	if cut, ok := p.CutOf(res.Energy); ok {
 		fmt.Printf("cut          %.2f of total weight %.0f\n", cut, p.TotalEdgeWeight())
+	}
+	if es := res.Elastic; es != nil {
+		fmt.Printf("elastic      %d failures, %d replaced (%d retries), %d shrinks, %d grows; finished on %d replicas\n",
+			es.Failures, es.Replacements, es.Retries, es.Shrinks, es.Grows, es.FinalReplicas)
+		if es.FinalCheckpoint != "" {
+			fmt.Printf("checkpoint   %s\n", es.FinalCheckpoint)
+		}
 	}
 	if *doExact {
 		e, err := p.ExactGroundEnergy()

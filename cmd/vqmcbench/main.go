@@ -1,14 +1,15 @@
 // Command vqmcbench times the scalar (per-sample) evaluation path against
 // the batched GEMM path and writes the results as JSON, giving the repo a
 // recorded perf trajectory across PRs (BENCH_pr4.json, BENCH_pr5.json,
-// BENCH_pr7.json, BENCH_pr8.json). The two paths are bitwise identical, so
-// every comparison is pure throughput.
+// BENCH_pr7.json, BENCH_pr8.json, BENCH_pr9.json). The two paths are
+// bitwise identical, so every comparison is pure throughput.
 //
 //	vqmcbench -out BENCH_pr8.json                  # acceptance point, n=32 h=64 B=1024
 //	vqmcbench -quick -out /tmp/smoke.json          # CI smoke (seconds)
 //	vqmcbench -model rbm -quick                    # RBM batched-path smoke
 //	vqmcbench -model nade -quick                   # NADE batched-path smoke
 //	GOMAXPROCS=4 vqmcbench -model all -workers 1,2,4   # worker-scaling matrix
+//	vqmcbench -mttr -out BENCH_pr9.json            # elastic repair: replace vs shrink at L=4
 //
 // A -workers sweep emits one JSON row per (phase, model, worker count), and
 // every row records the gomaxprocs/num_cpu it ran under, so scaling curves
@@ -33,6 +34,7 @@ import (
 	"time"
 
 	"github.com/vqmc-scale/parvqmc/internal/core"
+	"github.com/vqmc-scale/parvqmc/internal/dist"
 	"github.com/vqmc-scale/parvqmc/internal/hamiltonian"
 	"github.com/vqmc-scale/parvqmc/internal/nn"
 	"github.com/vqmc-scale/parvqmc/internal/optimizer"
@@ -92,12 +94,17 @@ func main() {
 		workers = flag.String("workers", "", "comma-separated worker counts (default: 1 and GOMAXPROCS)")
 		minMS   = flag.Int("min-ms", 2000, "minimum measurement time per case, milliseconds")
 		quick   = flag.Bool("quick", false, "CI smoke: tiny sizes, one short measurement per case")
+		mttr    = flag.Bool("mttr", false, "time elastic repair instead: replace (Recover) vs shrink-to-survivors at L=4 on a scripted failure")
 		out     = flag.String("out", "BENCH_pr8.json", "output JSON path")
 	)
 	flag.Parse()
 
 	if *quick {
 		*n, *hsz, *batch, *minMS = 10, 12, 64, 1
+	}
+	if *mttr {
+		runMTTR(*n, *hsz, *batch, time.Duration(*minMS)*time.Millisecond, *out)
+		return
 	}
 	runMADE := *model == "made" || *model == "all"
 	runRBM := *model == "rbm" || *model == "all"
@@ -353,4 +360,116 @@ func benchRBM(emit func(Result), n, hsz, batch, w int, minDur time.Duration) {
 	bNS = timeIt(minDur, func() { trB.Step() })
 	emit(Result{Name: "TrainStep", Model: "rbm", N: n, Hidden: hsz,
 		Batch: batch, Workers: w, ScalarNS: sNS, BatchedNS: bNS, Speedup: sNS / bNS})
+}
+
+// runMTTR times the two elastic repair strategies after a scripted rank
+// death on an L=4 MADE/REINFORCE trainer: replace (dist.Recover — rebuild
+// the dead rank from a checkpoint and resume bit-identically at full width)
+// against shrink (dist.Shrink — continue on the three survivors as a legal
+// smaller run). Each sample covers repair plus the replay of the failed
+// step: the full wall-clock gap between "step failed" and "training is
+// moving again", i.e. the mean time to repair. In the emitted row ScalarNS
+// is replace, BatchedNS is shrink, and Speedup is their ratio (how much
+// more a replacement costs than walking away from the rank).
+func runMTTR(n, hsz, batch int, minDur time.Duration, out string) {
+	const L = 4
+	const failStep = 4
+	mb := batch / L
+	if mb < 1 {
+		mb = 1
+	}
+	tim := hamiltonian.RandomTIM(n, rng.New(77))
+
+	builder := func(rank int, model dist.Model) (dist.Replica, error) {
+		m := model.(*nn.MADE)
+		return dist.Replica{
+			Model: m,
+			Smp:   sampler.NewAutoMADE(m, true, 1, rng.New(0xDEAD)),
+			Opt:   optimizer.NewSGD(1), // replaced by the survivor clone
+		}, nil
+	}
+	makeBroken := func() *dist.Trainer {
+		streams := rng.New(7).SplitN(L)
+		reps := make([]dist.Replica, L)
+		for r := range reps {
+			m := nn.NewMADE(n, hsz, rng.New(6))
+			reps[r] = dist.Replica{
+				Model: m,
+				Smp:   sampler.NewAutoMADE(m, true, 1, streams[r]),
+				Opt:   optimizer.NewAdam(0.01),
+			}
+		}
+		tr, err := dist.New(tim, reps, mb)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Peer loss surfaces via the bounded-wait deadline; detection happens
+		// before the measured repair window opens, so the value is uncritical.
+		tr.SetCollectiveDeadline(500 * time.Millisecond)
+		tr.InjectFailure(1, failStep-1) // one collective per rank per step
+		for i := 1; i < failStep; i++ {
+			if _, err := tr.Step(i); err != nil {
+				log.Fatalf("healthy prefix step %d: %v", i, err)
+			}
+		}
+		if _, err := tr.Step(failStep); err == nil {
+			log.Fatal("scripted failure did not fire")
+		}
+		return tr
+	}
+	// Unlike timeIt, only the repair + replay stretch is on the clock; the
+	// broken-trainer setup (training steps) is rebuilt outside it per sample.
+	measure := func(repair func(*dist.Trainer) (*dist.Trainer, error)) float64 {
+		var total time.Duration
+		calls := 0
+		for total < minDur || calls == 0 {
+			tr := makeBroken()
+			start := time.Now()
+			nt, err := repair(tr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, err := nt.Step(failStep); err != nil {
+				log.Fatalf("replaying failed step: %v", err)
+			}
+			total += time.Since(start)
+			calls++
+		}
+		return float64(total.Nanoseconds()) / float64(calls)
+	}
+
+	replaceNS := measure(func(tr *dist.Trainer) (*dist.Trainer, error) {
+		return tr.Recover("", builder)
+	})
+	shrinkNS := measure(func(tr *dist.Trainer) (*dist.Trainer, error) {
+		return tr.Shrink()
+	})
+
+	rep := Report{
+		PR:         "pr9-elastic-mttr",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		Note: "mean time to repair after a scripted rank death at L=4 (MADE, REINFORCE): " +
+			"scalar_ns_op = replace (Recover: in-memory checkpoint, rebuild dead rank, replay failed step), " +
+			"batched_ns_op = shrink (continue on 3 survivors, replay failed step), " +
+			"speedup = replace/shrink cost ratio. Repair + replay only; setup excluded.",
+	}
+	row := Result{Name: "MTTR", Model: "made", N: n, Hidden: hsz, Batch: L * mb, Workers: 1,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+		ScalarNS: replaceNS, BatchedNS: shrinkNS, Speedup: replaceNS / shrinkNS}
+	rep.Results = append(rep.Results, row)
+	fmt.Printf("%-24s %-4s n=%d h=%d B=%d L=%d: replace %8.2fms vs shrink %8.2fms (%.2fx)\n",
+		row.Name, row.Model, row.N, row.Hidden, row.Batch, L,
+		row.ScalarNS/1e6, row.BatchedNS/1e6, row.Speedup)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", out)
 }

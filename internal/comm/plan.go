@@ -1,0 +1,71 @@
+package comm
+
+// Multi-incarnation fault scripting. FailAt and Delay arm faults on ONE
+// group, but the elastic-membership layer (package dist) rebuilds the group
+// on every Recover/Shrink/Grow, deliberately leaving injected scripts
+// behind. A FaultPlan closes that gap for tests that need a deterministic
+// multi-failure schedule — e.g. shrink, re-grow, then fail again — without
+// the test ever touching the intermediate trainer incarnations: each
+// rebuilt group consumes the plan's next generation of scripted deaths.
+
+import "sync"
+
+// FaultSpec schedules one scripted rank death within a single group
+// incarnation: the rank dies at its (After+1)-th collective initiation,
+// exactly as Group.FailAt. Several specs in one generation script
+// simultaneous multi-rank death.
+type FaultSpec struct {
+	Rank  int
+	After int
+}
+
+// FaultPlan is an ordered sequence of fault GENERATIONS, one per group
+// incarnation: the first Apply arms generation 0 on its group, the next
+// Apply arms generation 1 on the next group, and so on. An empty generation
+// leaves its incarnation fault-free; Apply past the last generation is a
+// no-op. A FaultPlan is safe for concurrent use, but each Apply must (like
+// FailAt itself) happen before the target group's collectives start.
+type FaultPlan struct {
+	mu   sync.Mutex
+	gens [][]FaultSpec
+	next int
+}
+
+// NewFaultPlan returns an empty plan; chain Generation calls to script it.
+func NewFaultPlan() *FaultPlan { return &FaultPlan{} }
+
+// Generation appends one incarnation's scripted deaths (none for a
+// fault-free incarnation) and returns the plan for chaining.
+func (p *FaultPlan) Generation(specs ...FaultSpec) *FaultPlan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.gens = append(p.gens, specs)
+	return p
+}
+
+// Apply consumes the next unconsumed generation and arms its deaths on g.
+// A spec whose rank does not exist in g — the membership the script
+// anticipated has shrunk — is dropped silently: the schedule stays
+// deterministic for the incarnations that do match.
+func (p *FaultPlan) Apply(g *Group) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.next >= len(p.gens) {
+		return
+	}
+	specs := p.gens[p.next]
+	p.next++
+	for _, s := range specs {
+		if s.Rank < 0 || s.Rank >= g.Size() {
+			continue
+		}
+		g.FailAt(s.Rank, s.After)
+	}
+}
+
+// Remaining reports how many generations have not yet been applied.
+func (p *FaultPlan) Remaining() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.gens) - p.next
+}

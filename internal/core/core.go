@@ -65,7 +65,13 @@ func LocalEnergies(h hamiltonian.Hamiltonian, model nn.CacheBuilder, b *sampler.
 
 // IterStats summarizes one training iteration.
 type IterStats struct {
-	Iter   int
+	Iter int
+	// Batch is the number of samples behind this iteration's statistics:
+	// the configured batch size serially, the global effective batch
+	// (devices x mini-batch) in distributed training — where elastic
+	// membership can change it mid-run, and the honest per-iteration record
+	// of that change lives here.
+	Batch  int
 	Energy float64 // batch mean of the local energy (red curve, Fig. 2)
 	Std    float64 // batch std-dev of the local energy (blue curve, Fig. 2)
 	// SRIters and SRResidual report the stochastic-reconfiguration CG solve
@@ -197,7 +203,7 @@ func (t *Trainer) Step() IterStats {
 	t.timings.Grad += t3.Sub(t2)
 
 	step := t.grad
-	stats := IterStats{Iter: t.iter, Energy: mean, Std: std}
+	stats := IterStats{Iter: t.iter, Batch: t.cfg.BatchSize, Energy: mean, Std: std}
 	if t.cfg.SR != nil {
 		step = t.cfg.SR.Precondition(t.ows, t.grad)
 		solve := t.cfg.SR.LastSolve()

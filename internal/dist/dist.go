@@ -278,6 +278,14 @@ type Trainer struct {
 	snapValid      bool
 	snapIter       int
 	failedIter     int
+	// Elastic-membership state (see elastic.go): plan re-arms the next
+	// generation of scripted faults on every rebuilt group, and history
+	// accumulates one forensic record per failed step ACROSS rebuilds —
+	// DeadRanks/FailedStep describe only the current incarnation, so a
+	// second failure during recovery would otherwise orphan the first's
+	// post-mortem.
+	plan    *comm.FaultPlan
+	history []FailureRecord
 }
 
 // New assembles a data-parallel trainer over the replicas. It validates
@@ -499,7 +507,22 @@ func (t *Trainer) SetCollectiveDeadline(d time.Duration) { t.group.SetDeadline(d
 // InjectFailure scripts replica rank to die at its (after+1)-th collective
 // (see comm.Group.FailAt) — the test seam behind the failure-injection
 // matrix. Pair with SetCollectiveDeadline so survivors detect the death.
+// The script arms only the CURRENT group; use SetFaultPlan to script deaths
+// across Recover/Shrink/Grow rebuilds.
 func (t *Trainer) InjectFailure(rank, after int) { t.group.FailAt(rank, after) }
+
+// SetFaultPlan attaches a multi-generation fault script (see
+// comm.FaultPlan): the plan's next generation is armed on the current group
+// immediately, and every trainer a Recover, Shrink or Grow rebuild produces
+// arms the following generation on its fresh group — the seam that lets a
+// test drive a full shrink -> grow -> shrink failure schedule
+// deterministically. Call before training starts.
+func (t *Trainer) SetFaultPlan(p *comm.FaultPlan) {
+	t.plan = p
+	if p != nil {
+		p.Apply(t.group)
+	}
+}
 
 // InjectStraggler scripts replica rank to sleep d before each collective it
 // initiates (see comm.Group.Delay).
@@ -770,13 +793,19 @@ func (t *Trainer) Step(iter int) (core.IterStats, error) {
 	}
 	wg.Wait()
 	if err := errors.Join(errs...); err != nil {
-		if t.failedIter == 0 {
-			t.failedIter = iter
-		}
 		// Condemn the group even if the failure never reached a deadline
 		// (e.g. the killed rank's own immediate error): every rank must see
 		// subsequent collectives fail fast.
 		t.group.Abort(err)
+		if t.failedIter == 0 {
+			t.failedIter = iter
+			// Record the forensics NOW, while this incarnation's group still
+			// owns them: a later Recover/Shrink rebuild starts a fresh group
+			// whose DeadRanks/FailedStep describe only its own failure.
+			// Reading DeadRanks here is safe — wg.Wait joined the replica
+			// goroutines that set the death flags.
+			t.history = append(t.history, FailureRecord{Step: iter, Dead: t.group.DeadRanks()})
+		}
 		return core.IterStats{}, fmt.Errorf("dist: step %d failed: %w", iter, err)
 	}
 	// Every replica holds the same reduced payload; read replica 0.
@@ -792,7 +821,7 @@ func (t *Trainer) Step(iter int) (core.IterStats, error) {
 	if v < 0 {
 		v = 0 // cancellation guard, as in stats.MeanStd
 	}
-	out := core.IterStats{Iter: iter, Energy: mean, Std: math.Sqrt(v)}
+	out := core.IterStats{Iter: iter, Batch: len(t.Reps) * t.mb, Energy: mean, Std: math.Sqrt(v)}
 	if t.sr {
 		solve := t.Reps[0].SR.LastSolve()
 		out.SRIters, out.SRResidual = solve.Iterations, solve.Residual

@@ -1,0 +1,194 @@
+package dist
+
+// Elastic membership: continuing on the survivors of a failure (Shrink) and
+// re-admitting ranks when capacity returns (Grow).
+//
+// Recover (recover.go) restores the ORIGINAL membership, which preserves
+// the strongest possible equivalence — the resumed trajectory is bit-
+// identical to the uninterrupted run. But replacement capacity is not
+// always available, and a trainer that blocks waiting for a rank it will
+// never get is the same hang-forever failure class the bounded-wait
+// collectives were built to kill, one layer up. Shrink therefore reworks
+// the equivalence doctrine instead of abandoning it:
+//
+//	A shrunken trainer IS a legal smaller run — its trajectory is
+//	bit-identical (exact ==) to a fresh L−k trainer constructed from the
+//	survivors' parameters, optimizer state, and sampler stream positions.
+//
+// That holds for the same reason recovery replay holds: the failed step
+// committed nothing (all-or-nothing step semantics), so rewinding each
+// survivor's sampler and SR solver to its step-entry snapshot leaves
+// exactly the state a fresh L−k trainer would have been handed. Every
+// L-dependent constant (the gradient average, the SR batch normalization)
+// is derived from the replica count at construction, so the continuation
+// is not an approximation of the L-rank run — it is the (L−k)-rank run.
+// The global batch changes from L*mb to (L−k)*mb, and EffectiveBatch and
+// IterStats.Batch report that honestly.
+//
+// Grow is the inverse: a HEALTHY trainer admits fresh ranks built around a
+// checkpoint of the current parameters, with optimizer state cloned and SR
+// warm starts transplanted from rank 0 (bit-identical on every rank by the
+// synchronous-update invariant), so the grown trainer is a legal larger run
+// from the admission point onward. New ranks sample from their builder's
+// own streams — there is no dead rank whose position they must resume.
+//
+// Neither operation owns the policy of WHEN to shrink, grow, retry or give
+// up; that lives in package elastic, which supervises a trainer through a
+// whole failure schedule.
+
+import (
+	"fmt"
+
+	"github.com/vqmc-scale/parvqmc/internal/optimizer"
+	"github.com/vqmc-scale/parvqmc/internal/sampler"
+)
+
+// FailureRecord is one failed step's forensics, kept across trainer
+// rebuilds (see Trainer.FailureHistory).
+type FailureRecord struct {
+	// Step is the iteration whose Step call first returned an error on that
+	// trainer incarnation.
+	Step int
+	// Dead lists the ranks whose deaths had fired by then, ascending; empty
+	// when the group was condemned without a rank death (explicit abort, or
+	// a straggler past the deadline).
+	Dead []int
+}
+
+// FailureHistory returns one record per failed step, accumulated ACROSS
+// Recover/Shrink/Grow rebuilds — unlike DeadRanks and FailedStep, which
+// describe only the current trainer incarnation and would otherwise lose
+// the first failure's post-mortem the moment a second failure hits the
+// rebuilt trainer. The returned slice is a deep copy.
+func (t *Trainer) FailureHistory() []FailureRecord {
+	out := make([]FailureRecord, len(t.history))
+	for i, rec := range t.history {
+		out[i] = FailureRecord{Step: rec.Step, Dead: append([]int(nil), rec.Dead...)}
+	}
+	return out
+}
+
+// Shrink re-assembles the trainer over the SURVIVING ranks only, after a
+// failed Step condemned the group: a fresh communicator group of size L−k,
+// each survivor rewound to its step-entry snapshot exactly as Recover
+// rewinds it. The shrunken trainer continues as a legal smaller run (see
+// the doctrine above); replaying the failed iteration on it is bit-
+// identical to a fresh L−k trainer built from the survivors' state.
+//
+// The receiver is consumed — surviving replicas are rewound in place and
+// carried into the returned trainer; it must not be stepped again. Guards
+// mirror Recover: the trainer must be recoverable from construction,
+// condemned, snapshotted, and must have at least one dead rank and at
+// least one survivor.
+func (t *Trainer) Shrink() (*Trainer, error) {
+	if t.notRecoverable != nil {
+		return nil, fmt.Errorf("dist: trainer cannot shrink: %w", t.notRecoverable)
+	}
+	if t.group.Err() == nil {
+		return nil, fmt.Errorf("dist: group is healthy; nothing to shrink from")
+	}
+	if !t.snapValid {
+		return nil, fmt.Errorf("dist: no step snapshot to rewind to (group condemned before any Step?): %w", t.group.Err())
+	}
+	dead := t.group.DeadRanks()
+	if len(dead) == 0 {
+		return nil, fmt.Errorf("dist: group aborted without a dead rank (cause: %w); no membership to shrink", t.group.Err())
+	}
+	if len(dead) == len(t.Reps) {
+		return nil, fmt.Errorf("dist: all %d replicas dead; no survivors to shrink to", len(t.Reps))
+	}
+	deadSet := make(map[int]bool, len(dead))
+	for _, r := range dead {
+		deadSet[r] = true
+	}
+	reps := make([]Replica, 0, len(t.Reps)-len(dead))
+	for r := range t.Reps {
+		if deadSet[r] {
+			continue
+		}
+		// Rewind the survivor's sampler and SR solver to its own step-entry
+		// snapshot, undoing the draws and warm-start pollution of the failed
+		// step. Parameters and optimizer state were never touched by the
+		// failed step and carry over as-is — exactly the state a fresh
+		// (L−k)-rank trainer would be constructed from.
+		rep := t.Reps[r]
+		rep.Smp.(sampler.Resumable).Restore(t.snapSmp[r])
+		if rep.SR != nil {
+			rep.SR.RestoreState(t.snapSR[r])
+		}
+		reps = append(reps, rep)
+	}
+	nt, err := New(t.H, reps, t.mb)
+	if err != nil {
+		return nil, fmt.Errorf("dist: re-assembling shrunken trainer: %w", err)
+	}
+	t.carryElastic(nt)
+	return nt, nil
+}
+
+// Grow admits add new ranks to a HEALTHY trainer — the re-expansion after a
+// shrink, once capacity returns. It reuses the recovery machinery's
+// checkpoint path: rank 0's parameters are checkpointed (atomically to
+// <dir>/grow-step*.pvq when dir is non-empty, in memory otherwise) and
+// reloaded for each admitted rank, build supplies the replica skeleton
+// (indexing continues after the current ranks), the optimizer state is a
+// deep clone of rank 0's, and under SR the warm start is transplanted from
+// rank 0 — warm starts are bit-identical across ranks, so the lockstep CG
+// stays in lockstep. Unlike a Recover replacement, an admitted rank keeps
+// its builder's sampler stream as-is: there is no dead rank to resume, the
+// grown trainer is a legal larger run from this point on, and the global
+// batch honestly grows to (L+add)*mb.
+//
+// The receiver is consumed — its replicas are carried into the returned
+// trainer; it must not be stepped again.
+func (t *Trainer) Grow(dir string, add int, build ReplicaBuilder) (*Trainer, error) {
+	if t.notRecoverable != nil {
+		return nil, fmt.Errorf("dist: trainer cannot grow: %w", t.notRecoverable)
+	}
+	if err := t.group.Err(); err != nil {
+		return nil, fmt.Errorf("dist: cannot grow a condemned trainer (Recover or Shrink first): %w", err)
+	}
+	if add <= 0 {
+		return nil, fmt.Errorf("dist: Grow needs a positive rank count, got %d", add)
+	}
+	if build == nil {
+		return nil, fmt.Errorf("dist: Grow needs a ReplicaBuilder for the admitted ranks")
+	}
+	loadModel, err := t.checkpointLoader(dir, "grow", 0, t.snapIter)
+	if err != nil {
+		return nil, fmt.Errorf("dist: growth checkpoint: %w", err)
+	}
+	reps := make([]Replica, len(t.Reps)+add)
+	copy(reps, t.Reps)
+	for r := len(t.Reps); r < len(reps); r++ {
+		model, err := loadModel()
+		if err != nil {
+			return nil, fmt.Errorf("dist: reloading checkpoint for admitted rank %d: %w", r, err)
+		}
+		rep, err := build(r, model)
+		if err != nil {
+			return nil, fmt.Errorf("dist: building admitted replica %d: %w", r, err)
+		}
+		if rep.Model == nil {
+			rep.Model = model
+		}
+		opt, err := optimizer.CloneOptimizerState(t.Reps[0].Opt)
+		if err != nil {
+			return nil, fmt.Errorf("dist: cloning optimizer state for admitted rank %d: %w", r, err)
+		}
+		rep.Opt = opt
+		if t.sr {
+			rep.SR = t.Reps[0].SR.Clone()
+			rep.SR.RestoreState(t.Reps[0].SR.CaptureState())
+		} else {
+			rep.SR = nil
+		}
+		reps[r] = rep
+	}
+	nt, err := New(t.H, reps, t.mb)
+	if err != nil {
+		return nil, fmt.Errorf("dist: re-assembling grown trainer: %w", err)
+	}
+	t.carryElastic(nt)
+	return nt, nil
+}

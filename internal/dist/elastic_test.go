@@ -1,0 +1,445 @@
+package dist
+
+// Acceptance suite for elastic membership. The doctrine under test: a
+// shrunken trainer is a LEGAL SMALLER RUN — bit-identical (exact ==, no
+// tolerance) to a fresh L−k trainer constructed from the survivors'
+// parameters, optimizer state, and sampler stream positions — and a grown
+// trainer is a legal larger run from the admission point. The reference
+// trainers here are assembled literally that way: New() over the surviving
+// (or augmented) replica structs of an uninterrupted run.
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/vqmc-scale/parvqmc/internal/comm"
+	"github.com/vqmc-scale/parvqmc/internal/core"
+	"github.com/vqmc-scale/parvqmc/internal/hamiltonian"
+	"github.com/vqmc-scale/parvqmc/internal/nn"
+	"github.com/vqmc-scale/parvqmc/internal/optimizer"
+	"github.com/vqmc-scale/parvqmc/internal/rng"
+	"github.com/vqmc-scale/parvqmc/internal/sampler"
+)
+
+// shrinkReference builds the doctrine's reference run for a shrink event:
+// an uninterrupted L-rank trainer stepped through failStep-1, then a FRESH
+// trainer assembled from the survivors' replica structs (their parameters,
+// optimizer state, and sampler positions as they stand), stepped from
+// failStep through steps. Returns the combined history and the final
+// trainer.
+func shrinkReference(t *testing.T, ref *Trainer, deadSet map[int]bool, failStep, steps int) ([]core.IterStats, *Trainer) {
+	t.Helper()
+	hist := make([]core.IterStats, 0, steps)
+	for i := 1; i < failStep; i++ {
+		hist = append(hist, mustStep(t, ref, i))
+	}
+	var reps []Replica
+	for r := range ref.Reps {
+		if !deadSet[r] {
+			reps = append(reps, ref.Reps[r])
+		}
+	}
+	small, err := New(ref.H, reps, ref.MiniBatch())
+	if err != nil {
+		t.Fatalf("assembling reference L-k trainer: %v", err)
+	}
+	for i := failStep; i <= steps; i++ {
+		hist = append(hist, mustStep(t, small, i))
+	}
+	return hist, small
+}
+
+// runShrink drives tr into its scripted failure at failStep, shrinks, and
+// replays/continues through steps. Returns the combined history and the
+// shrunken trainer.
+func runShrink(t *testing.T, tr *Trainer, failStep, steps int) ([]core.IterStats, *Trainer) {
+	t.Helper()
+	hist := make([]core.IterStats, 0, steps)
+	for i := 1; i < failStep; i++ {
+		hist = append(hist, mustStep(t, tr, i))
+	}
+	if _, err := tr.Step(failStep); err == nil {
+		t.Fatalf("scripted failure at step %d did not surface", failStep)
+	}
+	nt, err := tr.Shrink()
+	if err != nil {
+		t.Fatalf("Shrink after step-%d failure: %v", failStep, err)
+	}
+	for i := failStep; i <= steps; i++ {
+		hist = append(hist, mustStep(t, nt, i))
+	}
+	return hist, nt
+}
+
+// TestShrinkBitIdenticalREINFORCE is the tentpole acceptance test on the
+// REINFORCE path: kill rank 0, a middle rank, or the last rank of an L=4
+// trainer mid-run, shrink to the three survivors, and demand the
+// continuation be bit-identical to a fresh 3-replica trainer built from
+// the survivors' state — including the honestly reduced IterStats.Batch.
+func TestShrinkBitIdenticalREINFORCE(t *testing.T) {
+	const L, mb, steps, failStep = 4, 8, 24, 10
+	for _, victim := range []int{0, 2, L - 1} {
+		tr := buildTrainer(t, 8, 10, L, mb, 101, 102)
+		tr.SetCollectiveDeadline(recoveryDeadline)
+		tr.InjectFailure(victim, failStep-1) // one collective per rank per step
+		hist, tr := runShrink(t, tr, failStep, steps)
+
+		ref := buildTrainer(t, 8, 10, L, mb, 101, 102)
+		refHist, refSmall := shrinkReference(t, ref, map[int]bool{victim: true}, failStep, steps)
+
+		assertIdenticalRun(t, refHist, hist, refSmall, tr)
+		if got := tr.EffectiveBatch(); got != (L-1)*mb {
+			t.Fatalf("victim %d: EffectiveBatch() = %d after shrink, want %d", victim, got, (L-1)*mb)
+		}
+		for i, s := range hist {
+			want := L * mb
+			if i+1 >= failStep {
+				want = (L - 1) * mb
+			}
+			if s.Batch != want {
+				t.Fatalf("victim %d: iter %d reports batch %d, want %d", victim, i+1, s.Batch, want)
+			}
+		}
+	}
+}
+
+// TestShrinkBitIdenticalSR runs the same acceptance bar under distributed
+// stochastic reconfiguration, on both the classic and pipelined solvers: a
+// rank killed mid-CG-solve poisons the step, the survivors rewind their
+// samplers AND their SR warm starts, and the shrunken continuation — whose
+// Fisher solve now normalizes by the smaller global batch — must match the
+// fresh L−1 trainer bit-for-bit, CG solve counters included.
+func TestShrinkBitIdenticalSR(t *testing.T) {
+	const n, h, mb, steps = 7, 9, 8, 12
+	tim := hamiltonian.RandomTIM(n, rng.New(41))
+	for _, pipelined := range []bool{false, true} {
+		build := buildSRTrainer
+		if pipelined {
+			build = buildPipelinedSRTrainer
+		}
+		tr := build(t, tim, n, h, mb, []int{1, 1, 1}, 42, 43)
+		tr.SetCollectiveDeadline(recoveryDeadline)
+		// Collective #40 lands mid-run, mid-solve (the SR schedule issues
+		// 2 reductions plus every Fisher apply per step).
+		tr.InjectFailure(1, 40)
+		var hist []core.IterStats
+		failStep := 0
+		for i := 1; i <= steps; i++ {
+			s, err := tr.Step(i)
+			if err != nil {
+				failStep = i
+				break
+			}
+			hist = append(hist, s)
+		}
+		if failStep <= 1 || failStep >= steps {
+			t.Fatalf("pipelined=%v: failure hit step %d, want mid-run", pipelined, failStep)
+		}
+		nt, err := tr.Shrink()
+		if err != nil {
+			t.Fatalf("pipelined=%v: Shrink: %v", pipelined, err)
+		}
+		for i := failStep; i <= steps; i++ {
+			hist = append(hist, mustStep(t, nt, i))
+		}
+
+		ref := build(t, tim, n, h, mb, []int{1, 1, 1}, 42, 43)
+		refHist, refSmall := shrinkReference(t, ref, map[int]bool{1: true}, failStep, steps)
+		assertIdenticalRun(t, refHist, hist, refSmall, nt)
+	}
+}
+
+// TestMultiRankDeathShrink: two ranks dying at the same collective must
+// leave complete forensics and a shrinkable 2-survivor trainer whose
+// continuation is the legal L=2 run.
+func TestMultiRankDeathShrink(t *testing.T) {
+	const L, mb, steps, failStep = 4, 8, 16, 6
+	tr := buildTrainer(t, 8, 10, L, mb, 111, 112)
+	tr.SetCollectiveDeadline(recoveryDeadline)
+	tr.InjectFailure(1, failStep-1)
+	tr.InjectFailure(2, failStep-1)
+	hist, tr := runShrink(t, tr, failStep, steps)
+
+	if dead := tr.FailureHistory(); len(dead) != 1 || dead[0].Step != failStep ||
+		len(dead[0].Dead) != 2 || dead[0].Dead[0] != 1 || dead[0].Dead[1] != 2 {
+		t.Fatalf("FailureHistory() = %+v, want one record {%d [1 2]}", dead, failStep)
+	}
+	ref := buildTrainer(t, 8, 10, L, mb, 111, 112)
+	refHist, refSmall := shrinkReference(t, ref, map[int]bool{1: true, 2: true}, failStep, steps)
+	assertIdenticalRun(t, refHist, hist, refSmall, tr)
+	if got := tr.EffectiveBatch(); got != 2*mb {
+		t.Fatalf("EffectiveBatch() = %d after double shrink, want %d", got, 2*mb)
+	}
+}
+
+// TestGrowBitIdenticalREINFORCE pins the growth doctrine: admitting a rank
+// to a healthy L=2 trainer yields a legal L=3 run — bit-identical to a
+// fresh 3-replica trainer built from the two live replicas plus a replica
+// holding the checkpointed parameters, a clone of the live optimizer
+// state, and the same fresh sampler stream.
+func TestGrowBitIdenticalREINFORCE(t *testing.T) {
+	const L, mb, preSteps, postSteps = 2, 8, 6, 12
+	const newSeed = 0xBEEF
+
+	grownBuilder := func(rank int, model Model) (Replica, error) {
+		m, ok := model.(*nn.MADE)
+		if !ok {
+			return Replica{}, errors.New("checkpoint did not round-trip a *MADE")
+		}
+		return Replica{
+			Model: m,
+			Smp:   sampler.NewAutoMADE(m, true, 1, rng.New(newSeed)),
+			Opt:   optimizer.NewSGD(1), // replaced by the rank-0 clone
+		}, nil
+	}
+
+	tr := buildTrainer(t, 8, 10, L, mb, 121, 122)
+	var hist []core.IterStats
+	for i := 1; i <= preSteps; i++ {
+		hist = append(hist, mustStep(t, tr, i))
+	}
+	dir := t.TempDir()
+	grown, err := tr.Grow(dir, 1, grownBuilder)
+	if err != nil {
+		t.Fatalf("Grow: %v", err)
+	}
+	if got := grown.EffectiveBatch(); got != (L+1)*mb {
+		t.Fatalf("EffectiveBatch() = %d after grow, want %d", got, (L+1)*mb)
+	}
+	for i := preSteps + 1; i <= postSteps; i++ {
+		hist = append(hist, mustStep(t, grown, i))
+	}
+	// The growth checkpoint is a durable artifact of the admission.
+	if m, err := filepath.Glob(filepath.Join(dir, "grow-step*.pvq")); err != nil || len(m) != 1 {
+		t.Fatalf("growth checkpoint artifact missing: %v %v", m, err)
+	}
+
+	// Reference: an identical healthy run, manually augmented to L+1 with
+	// exactly the state Grow transplants.
+	ref := buildTrainer(t, 8, 10, L, mb, 121, 122)
+	var refHist []core.IterStats
+	for i := 1; i <= preSteps; i++ {
+		refHist = append(refHist, mustStep(t, ref, i))
+	}
+	m3 := nn.NewMADE(8, 10, rng.New(999)) // params overwritten below
+	copy(m3.Params(), ref.Reps[0].Model.Params())
+	nn.InvalidateParams(m3)
+	opt3, err := optimizer.CloneOptimizerState(ref.Reps[0].Opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := append(append([]Replica(nil), ref.Reps...), Replica{
+		Model: m3,
+		Smp:   sampler.NewAutoMADE(m3, true, 1, rng.New(newSeed)),
+		Opt:   opt3,
+	})
+	refGrown, err := New(ref.H, reps, mb)
+	if err != nil {
+		t.Fatalf("assembling reference L+1 trainer: %v", err)
+	}
+	for i := preSteps + 1; i <= postSteps; i++ {
+		refHist = append(refHist, mustStep(t, refGrown, i))
+	}
+	assertIdenticalRun(t, refHist, hist, refGrown, grown)
+}
+
+// TestGrowBitIdenticalSR covers the SR warm-start transplant: the admitted
+// rank must enter the lockstep CG with rank 0's exact warm start, or the
+// first post-grow solve diverges across ranks.
+func TestGrowBitIdenticalSR(t *testing.T) {
+	const n, h, mb, preSteps, postSteps = 7, 9, 8, 5, 10
+	const newSeed = 0xF00D
+	tim := hamiltonian.RandomTIM(n, rng.New(51))
+
+	grownBuilder := func(rank int, model Model) (Replica, error) {
+		m := model.(*nn.MADE)
+		return Replica{
+			Model: m,
+			Smp:   sampler.NewAutoMADE(m, true, 1, rng.New(newSeed)),
+			Opt:   optimizer.NewSGD(1),
+		}, nil
+	}
+
+	tr := buildSRTrainer(t, tim, n, h, mb, []int{1, 1}, 52, 53)
+	var hist []core.IterStats
+	for i := 1; i <= preSteps; i++ {
+		hist = append(hist, mustStep(t, tr, i))
+	}
+	grown, err := tr.Grow("", 1, grownBuilder)
+	if err != nil {
+		t.Fatalf("Grow: %v", err)
+	}
+	for i := preSteps + 1; i <= postSteps; i++ {
+		hist = append(hist, mustStep(t, grown, i))
+	}
+
+	ref := buildSRTrainer(t, tim, n, h, mb, []int{1, 1}, 52, 53)
+	var refHist []core.IterStats
+	for i := 1; i <= preSteps; i++ {
+		refHist = append(refHist, mustStep(t, ref, i))
+	}
+	m3 := nn.NewMADE(n, h, rng.New(999))
+	copy(m3.Params(), ref.Reps[0].Model.Params())
+	nn.InvalidateParams(m3)
+	opt3, err := optimizer.CloneOptimizerState(ref.Reps[0].Opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr3 := ref.Reps[0].SR.Clone()
+	sr3.RestoreState(ref.Reps[0].SR.CaptureState())
+	reps := append(append([]Replica(nil), ref.Reps...), Replica{
+		Model: m3,
+		Smp:   sampler.NewAutoMADE(m3, true, 1, rng.New(newSeed)),
+		Opt:   opt3,
+		SR:    sr3,
+	})
+	refGrown, err := New(ref.H, reps, mb)
+	if err != nil {
+		t.Fatalf("assembling reference L+1 SR trainer: %v", err)
+	}
+	for i := preSteps + 1; i <= postSteps; i++ {
+		refHist = append(refHist, mustStep(t, refGrown, i))
+	}
+	assertIdenticalRun(t, refHist, hist, refGrown, grown)
+}
+
+// TestForensicsStableAcrossConsecutiveFailures is the regression the
+// elastic layer depends on: a second failure observed on the REBUILT
+// trainer must not clobber the first failure's DeadRanks/FailedStep (each
+// incarnation owns its own group), and FailureHistory must accumulate both
+// records across the rebuild.
+func TestForensicsStableAcrossConsecutiveFailures(t *testing.T) {
+	const L, mb, f1, f2 = 4, 8, 4, 7
+	plan := comm.NewFaultPlan().
+		Generation(comm.FaultSpec{Rank: 1, After: f1 - 1}).
+		// The rebuilt trainer replays step f1, so step f2 is its
+		// (f2-f1+1)-th collective per rank.
+		Generation(comm.FaultSpec{Rank: 2, After: f2 - f1})
+	tr := buildTrainer(t, 8, 10, L, mb, 131, 132)
+	tr.SetCollectiveDeadline(recoveryDeadline)
+	tr.SetFaultPlan(plan)
+
+	for i := 1; i < f1; i++ {
+		mustStep(t, tr, i)
+	}
+	if _, err := tr.Step(f1); err == nil {
+		t.Fatal("first scripted failure did not surface")
+	}
+	if got := tr.DeadRanks(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("first failure DeadRanks() = %v, want [1]", got)
+	}
+	if got := tr.FailedStep(); got != f1 {
+		t.Fatalf("first failure FailedStep() = %d, want %d", got, f1)
+	}
+
+	nt, err := tr.Recover("", madeBuilder)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	for i := f1; i < f2; i++ {
+		mustStep(t, nt, i)
+	}
+	if _, err := nt.Step(f2); err == nil {
+		t.Fatal("second scripted failure (armed by the fault plan) did not surface")
+	}
+
+	// The first incarnation's forensics are untouched by the second failure.
+	if got := tr.DeadRanks(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("first incarnation DeadRanks() clobbered: %v, want [1]", got)
+	}
+	if got := tr.FailedStep(); got != f1 {
+		t.Fatalf("first incarnation FailedStep() clobbered: %d, want %d", got, f1)
+	}
+	// The second incarnation reports its own failure...
+	if got := nt.DeadRanks(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("second incarnation DeadRanks() = %v, want [2]", got)
+	}
+	if got := nt.FailedStep(); got != f2 {
+		t.Fatalf("second incarnation FailedStep() = %d, want %d", got, f2)
+	}
+	// ...and the cumulative history carries both, in order.
+	histRecs := nt.FailureHistory()
+	if len(histRecs) != 2 ||
+		histRecs[0].Step != f1 || len(histRecs[0].Dead) != 1 || histRecs[0].Dead[0] != 1 ||
+		histRecs[1].Step != f2 || len(histRecs[1].Dead) != 1 || histRecs[1].Dead[0] != 2 {
+		t.Fatalf("FailureHistory() = %+v, want [{%d [1]} {%d [2]}]", histRecs, f1, f2)
+	}
+	// A further rebuild still carries the full record.
+	small, err := nt.Shrink()
+	if err != nil {
+		t.Fatalf("Shrink after second failure: %v", err)
+	}
+	if got := small.FailureHistory(); len(got) != 2 {
+		t.Fatalf("shrunken trainer FailureHistory() lost records: %+v", got)
+	}
+	mustStep(t, small, f2) // the shrunken trainer is live
+}
+
+// TestElasticGuards exercises every refusal path of Shrink and Grow.
+func TestElasticGuards(t *testing.T) {
+	// Shrink on a healthy trainer.
+	tr := buildTrainer(t, 6, 8, 2, 4, 141, 142)
+	mustTrain(t, tr, 2)
+	if _, err := tr.Shrink(); err == nil {
+		t.Fatal("Shrink on a healthy trainer succeeded")
+	}
+	// Grow refusals on the same healthy trainer: bad count, nil builder.
+	if _, err := tr.Grow("", 0, madeBuilder); err == nil {
+		t.Fatal("Grow with add=0 succeeded")
+	}
+	if _, err := tr.Grow("", 1, nil); err == nil {
+		t.Fatal("Grow with a nil builder succeeded")
+	}
+
+	// Aborted without a dead rank (straggler past the deadline): nothing to
+	// drop from the membership.
+	tr2 := buildTrainer(t, 6, 8, 2, 4, 143, 144)
+	tr2.SetCollectiveDeadline(recoveryDeadline)
+	tr2.InjectStraggler(1, time.Hour)
+	if _, err := tr2.Train(2, nil); err == nil {
+		t.Fatal("straggler past the deadline did not surface")
+	}
+	if _, err := tr2.Shrink(); err == nil {
+		t.Fatal("Shrink with no dead rank succeeded")
+	}
+	// Grow on a condemned trainer.
+	if _, err := tr2.Grow("", 1, madeBuilder); err == nil {
+		t.Fatal("Grow on a condemned trainer succeeded")
+	}
+
+	// All ranks dead: no survivors to shrink to.
+	tr3 := buildTrainer(t, 6, 8, 2, 4, 145, 146)
+	tr3.SetCollectiveDeadline(recoveryDeadline)
+	tr3.InjectFailure(0, 1)
+	tr3.InjectFailure(1, 1)
+	mustTrain(t, tr3, 1)
+	if _, err := tr3.Step(2); err == nil {
+		t.Fatal("double death did not surface")
+	}
+	if _, err := tr3.Shrink(); err == nil {
+		t.Fatal("Shrink with zero survivors succeeded")
+	}
+
+	// Condemned before any Step: no snapshot to rewind to.
+	tr4 := buildTrainer(t, 6, 8, 2, 4, 147, 148)
+	tr4.SetCollectiveDeadline(recoveryDeadline)
+	tr4.InjectFailure(0, 0)
+	if _, _, err := tr4.Evaluate(16); err == nil {
+		t.Fatal("evaluate with dead rank succeeded")
+	}
+	if _, err := tr4.Shrink(); err == nil {
+		t.Fatal("Shrink without a step snapshot succeeded")
+	}
+
+	// Growth checkpoint into an unwritable directory fails cleanly and the
+	// trainer remains usable.
+	tr5 := buildTrainer(t, 6, 8, 2, 4, 149, 150)
+	mustTrain(t, tr5, 2)
+	bogus := filepath.Join(t.TempDir(), "does", "not", "exist")
+	if _, err := tr5.Grow(bogus, 1, madeBuilder); err == nil {
+		t.Fatal("Grow into a nonexistent directory succeeded")
+	}
+	mustStep(t, tr5, 3)
+}

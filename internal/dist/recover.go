@@ -88,24 +88,10 @@ func (t *Trainer) Recover(dir string, build ReplicaBuilder) (*Trainer, error) {
 	}
 
 	// Checkpoint the survivor's parameters — still the last committed
-	// step's bytes — and prepare a loader for the dead ranks. The binary
-	// format stores raw float64 bits, so the round trip is exact.
-	var loadModel func() (Model, error)
-	if dir != "" {
-		path := filepath.Join(dir, fmt.Sprintf("recover-step%04d.pvq", t.snapIter))
-		if err := nn.SaveFile(path, t.Reps[surv].Model); err != nil {
-			return nil, fmt.Errorf("dist: recovery checkpoint: %w", err)
-		}
-		loadModel = func() (Model, error) { return loadCheckpointModel(nn.LoadFile(path)) }
-	} else {
-		var buf bytes.Buffer
-		if err := nn.SaveWavefunction(&buf, t.Reps[surv].Model); err != nil {
-			return nil, fmt.Errorf("dist: recovery checkpoint: %w", err)
-		}
-		data := buf.Bytes()
-		loadModel = func() (Model, error) {
-			return loadCheckpointModel(nn.LoadWavefunction(bytes.NewReader(data)))
-		}
+	// step's bytes — and prepare a loader for the dead ranks.
+	loadModel, err := t.checkpointLoader(dir, "recover", surv, t.snapIter)
+	if err != nil {
+		return nil, fmt.Errorf("dist: recovery checkpoint: %w", err)
 	}
 
 	reps := make([]Replica, len(t.Reps))
@@ -165,13 +151,49 @@ func (t *Trainer) Recover(dir string, build ReplicaBuilder) (*Trainer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dist: re-assembling trainer after recovery: %w", err)
 	}
-	// Carry the collective configuration onto the rebuilt group. Injected
-	// fault scripts are deliberately NOT carried over.
+	t.carryElastic(nt)
+	return nt, nil
+}
+
+// carryElastic copies the collective configuration and elastic bookkeeping
+// from t onto a rebuilt trainer: the deadline, the simulated link, the
+// cumulative failure history, and — when a FaultPlan is attached — its NEXT
+// generation of scripted deaths, armed on the fresh group. Faults injected
+// directly with InjectFailure are deliberately NOT carried over: a script
+// aimed at one incarnation's membership is meaningless on the next.
+func (t *Trainer) carryElastic(nt *Trainer) {
 	nt.group.SetDeadline(t.group.Deadline())
 	if t.link != (comm.Link{}) {
 		nt.SetLink(t.link)
 	}
-	return nt, nil
+	nt.history = append([]FailureRecord(nil), t.history...)
+	if t.plan != nil {
+		nt.plan = t.plan
+		t.plan.Apply(nt.group)
+	}
+}
+
+// checkpointLoader saves rank src's model — atomically to
+// <dir>/<prefix>-step%04d.pvq when dir is non-empty (the file is left
+// behind as the durable artifact of the event), in memory otherwise — and
+// returns a loader reconstructing an independent copy per call. The binary
+// format stores raw float64 bits, so every round trip is exact.
+func (t *Trainer) checkpointLoader(dir, prefix string, src, step int) (func() (Model, error), error) {
+	if dir != "" {
+		path := filepath.Join(dir, fmt.Sprintf("%s-step%04d.pvq", prefix, step))
+		if err := nn.SaveFile(path, t.Reps[src].Model); err != nil {
+			return nil, err
+		}
+		return func() (Model, error) { return loadCheckpointModel(nn.LoadFile(path)) }, nil
+	}
+	var buf bytes.Buffer
+	if err := nn.SaveWavefunction(&buf, t.Reps[src].Model); err != nil {
+		return nil, err
+	}
+	data := buf.Bytes()
+	return func() (Model, error) {
+		return loadCheckpointModel(nn.LoadWavefunction(bytes.NewReader(data)))
+	}, nil
 }
 
 // loadCheckpointModel narrows a loaded wavefunction to the trainer's Model

@@ -1,0 +1,299 @@
+// Package elastic supervises a distributed trainer through rank failures,
+// owning the POLICY the dist mechanisms deliberately do not: when to retry a
+// replacement, when to give up and shrink to the survivors, when to re-admit
+// ranks, and when the membership has fallen so low the run must stop.
+//
+// The decision tree, applied on every failed step:
+//
+//  1. REPLACE — if a ReplicaBuilder is configured, attempt dist.Recover
+//     (bit-identical resume at the original width) with bounded retries and
+//     exponential backoff. Recovery is retry-safe: a failed attempt leaves
+//     the condemned trainer exactly as it found it.
+//  2. SHRINK — if replacement is unavailable or exhausted and the survivor
+//     count is at or above MinReplicas, dist.Shrink to the survivors and
+//     continue as a legal smaller run.
+//  3. ABORT — below the MinReplicas floor (or when the group was condemned
+//     without a dead rank, leaving no membership fix), write a final atomic
+//     checkpoint of the last committed parameters and return the cause.
+//
+// Every path terminates: the trainer's bounded-wait collectives guarantee a
+// failed step SURFACES within the deadline, and the supervisor guarantees
+// what happens next is a rebuild or a clean, checkpointed exit — never a
+// hang, including failure during recovery and multi-rank simultaneous death.
+//
+// When capacity returns, the supervisor re-grows: after GrowAfter
+// consecutive clean steps below the original width it attempts dist.Grow
+// back to the width it started with.
+package elastic
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/vqmc-scale/parvqmc/internal/core"
+	"github.com/vqmc-scale/parvqmc/internal/dist"
+	"github.com/vqmc-scale/parvqmc/internal/nn"
+)
+
+// Policy configures the supervisor's failure-handling behavior.
+type Policy struct {
+	// MinReplicas is the membership floor: a failure that would leave fewer
+	// survivors aborts the run (with a final checkpoint) instead of
+	// shrinking. Zero means 1 — shrink as long as anyone survives.
+	MinReplicas int
+
+	// MaxRetries is how many EXTRA replacement attempts follow a failed
+	// dist.Recover before the supervisor falls back to shrinking. Zero means
+	// one attempt, no retries.
+	MaxRetries int
+
+	// Backoff is the wait before the first retry; it doubles per retry, capped
+	// at BackoffMax (when positive). Zero disables waiting.
+	Backoff time.Duration
+
+	// BackoffMax caps the exponential backoff. Zero means uncapped.
+	BackoffMax time.Duration
+
+	// CheckpointDir, when non-empty, is where recovery, growth and final
+	// checkpoints are written (atomically, via nn.SaveFile). Empty keeps
+	// recovery checkpoints in memory and skips the final artifact.
+	CheckpointDir string
+
+	// Builder constructs replacement replicas for dist.Recover and admitted
+	// replicas for dist.Grow. Nil disables both — every failure falls through
+	// to shrink-or-abort, and the run never re-grows.
+	Builder dist.ReplicaBuilder
+
+	// GrowAfter is how many consecutive clean steps below the starting width
+	// trigger a re-grow attempt back to it. Zero disables re-growing.
+	GrowAfter int
+}
+
+// Stats counts what the supervisor did, for observability and tests.
+type Stats struct {
+	// Failures is the number of failed steps handled.
+	Failures int
+	// Replacements is the number of successful dist.Recover rebuilds.
+	Replacements int
+	// Retries is the number of EXTRA recovery attempts after a failed one.
+	Retries int
+	// BackoffWaits is the number of backoff sleeps taken before retries.
+	BackoffWaits int
+	// BackoffTotal is the summed duration of those sleeps.
+	BackoffTotal time.Duration
+	// Shrinks is the number of successful shrink-to-survivors rebuilds.
+	Shrinks int
+	// Grows is the number of successful re-grow rebuilds.
+	Grows int
+	// GrowAttempts is the number of re-grows attempted (successful or not).
+	GrowAttempts int
+	// FloorAborts is 1 when the run stopped at the MinReplicas floor.
+	FloorAborts int
+	// FinalCheckpoint is the path of the final checkpoint artifact, set when
+	// CheckpointDir is configured and the supervised run has ended (cleanly
+	// or by abort).
+	FinalCheckpoint string
+}
+
+// Supervisor drives a dist.Trainer through a training run, rebuilding it
+// across failures per its Policy. It is not safe for concurrent use.
+type Supervisor struct {
+	tr     *dist.Trainer
+	policy Policy
+	// target is the starting width — the membership Grow steers back toward.
+	target int
+	stats  Stats
+	// clean counts consecutive completed steps since the last failure or
+	// membership change; re-grow triggers on it.
+	clean int
+	// last is the last completed iteration — the step the final checkpoint's
+	// parameters correspond to.
+	last int
+	// sleep is time.Sleep, swappable in tests.
+	sleep func(time.Duration)
+}
+
+// New wraps tr in a supervisor. The trainer's current width becomes the
+// re-grow target. The policy is validated: MinReplicas defaults to 1 and
+// must not exceed the trainer's width.
+func New(tr *dist.Trainer, p Policy) (*Supervisor, error) {
+	if tr == nil {
+		return nil, errors.New("elastic: nil trainer")
+	}
+	if p.MinReplicas <= 0 {
+		p.MinReplicas = 1
+	}
+	if p.MinReplicas > tr.Devices() {
+		return nil, fmt.Errorf("elastic: MinReplicas %d exceeds trainer width %d", p.MinReplicas, tr.Devices())
+	}
+	if p.MaxRetries < 0 {
+		return nil, fmt.Errorf("elastic: negative MaxRetries %d", p.MaxRetries)
+	}
+	if p.CheckpointDir != "" {
+		// Fail at construction, not at the first failure, if the artifact
+		// directory cannot exist.
+		if err := os.MkdirAll(p.CheckpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("elastic: checkpoint directory: %w", err)
+		}
+	}
+	return &Supervisor{tr: tr, policy: p, target: tr.Devices(), sleep: time.Sleep}, nil
+}
+
+// Trainer returns the CURRENT trainer incarnation — after a supervised run
+// this is the trainer that executed the final steps (possibly shrunken or
+// re-grown relative to the one New was given).
+func (s *Supervisor) Trainer() *dist.Trainer { return s.tr }
+
+// Stats returns a snapshot of the supervisor's counters.
+func (s *Supervisor) Stats() Stats { return s.stats }
+
+// Train runs iters supervised steps, invoking cb (when non-nil) after each
+// completed one. On a failed step it applies the replace → shrink → abort
+// decision tree and, unless aborting, REPLAYS the failed iteration on the
+// rebuilt trainer — completed-step statistics are never lost or duplicated.
+//
+// The returned history holds every completed step. A nil error means all
+// iters completed; otherwise the error is the abort cause and the history is
+// the prefix that committed. Either way, when CheckpointDir is set the last
+// committed parameters are on disk as final-step*.pvq by the time Train
+// returns.
+func (s *Supervisor) Train(iters int, cb func(core.IterStats)) ([]core.IterStats, error) {
+	hist := make([]core.IterStats, 0, iters)
+	for i := 1; i <= iters; {
+		s.maybeGrow()
+		st, err := s.tr.Step(i)
+		if err != nil {
+			if herr := s.handleFailure(err); herr != nil {
+				return hist, herr
+			}
+			continue // replay iteration i on the rebuilt trainer
+		}
+		hist = append(hist, st)
+		if cb != nil {
+			cb(st)
+		}
+		s.last = i
+		s.clean++
+		i++
+	}
+	if err := s.finalCheckpoint(); err != nil {
+		return hist, fmt.Errorf("elastic: final checkpoint: %w", err)
+	}
+	return hist, nil
+}
+
+// maybeGrow attempts to re-admit ranks back to the starting width once
+// GrowAfter consecutive clean steps have passed below it. A failed attempt
+// (no capacity, bad builder) leaves the trainer untouched and resets the
+// clean-step counter, so attempts stay paced rather than firing every step.
+func (s *Supervisor) maybeGrow() {
+	p := &s.policy
+	if p.GrowAfter <= 0 || p.Builder == nil || s.tr.Devices() >= s.target || s.clean < p.GrowAfter {
+		return
+	}
+	s.stats.GrowAttempts++
+	s.clean = 0
+	nt, err := s.tr.Grow(p.CheckpointDir, s.target-s.tr.Devices(), p.Builder)
+	if err != nil {
+		return
+	}
+	s.tr = nt
+	s.stats.Grows++
+}
+
+// handleFailure applies the decision tree to a failed step. A nil return
+// means the trainer was rebuilt (replaced or shrunken) and the caller should
+// replay the failed iteration; a non-nil return is the abort cause, with the
+// final checkpoint already written.
+func (s *Supervisor) handleFailure(cause error) error {
+	s.stats.Failures++
+	s.clean = 0
+	dead := s.tr.DeadRanks()
+	if len(dead) == 0 {
+		// Condemned without a dead rank (explicit abort, straggler past the
+		// deadline): there is no membership fix for this.
+		return s.abort(fmt.Errorf("elastic: group condemned without a dead rank: %w", cause))
+	}
+
+	// 1. REPLACE: bounded retries with exponential backoff.
+	var lastRecover error
+	if s.policy.Builder != nil {
+		backoff := s.policy.Backoff
+		for attempt := 0; attempt <= s.policy.MaxRetries; attempt++ {
+			if attempt > 0 {
+				s.stats.Retries++
+				if backoff > 0 {
+					s.stats.BackoffWaits++
+					s.stats.BackoffTotal += backoff
+					s.sleep(backoff)
+					backoff *= 2
+					if s.policy.BackoffMax > 0 && backoff > s.policy.BackoffMax {
+						backoff = s.policy.BackoffMax
+					}
+				}
+			}
+			nt, err := s.tr.Recover(s.policy.CheckpointDir, s.policy.Builder)
+			if err == nil {
+				s.tr = nt
+				s.stats.Replacements++
+				return nil
+			}
+			lastRecover = err
+		}
+	}
+
+	// 2. SHRINK: only above the floor.
+	if survivors := s.tr.Devices() - len(dead); survivors < s.policy.MinReplicas {
+		s.stats.FloorAborts++
+		return s.abort(errors.Join(
+			fmt.Errorf("elastic: %d survivors below MinReplicas floor %d: %w", survivors, s.policy.MinReplicas, cause),
+			lastRecover))
+	}
+	nt, err := s.tr.Shrink()
+	if err != nil {
+		return s.abort(errors.Join(cause, lastRecover, err))
+	}
+	s.tr = nt
+	s.stats.Shrinks++
+	return nil
+}
+
+// abort finalizes a terminating failure: the final checkpoint is written
+// (best effort — a write error joins the cause rather than masking it) and
+// the cause is returned for Train to surface.
+func (s *Supervisor) abort(cause error) error {
+	if err := s.finalCheckpoint(); err != nil {
+		return errors.Join(cause, fmt.Errorf("elastic: final checkpoint: %w", err))
+	}
+	return cause
+}
+
+// finalCheckpoint writes the last committed parameters to
+// <CheckpointDir>/final-step%04d.pvq. Any replica's bytes will do — dead
+// ranks included, since a dead rank's parameters stopped advancing at the
+// last committed step like everyone else's — but a survivor is preferred.
+func (s *Supervisor) finalCheckpoint() error {
+	if s.policy.CheckpointDir == "" {
+		return nil
+	}
+	deadSet := make(map[int]bool)
+	for _, r := range s.tr.DeadRanks() {
+		deadSet[r] = true
+	}
+	src := 0
+	for r := range s.tr.Reps {
+		if !deadSet[r] {
+			src = r
+			break
+		}
+	}
+	path := filepath.Join(s.policy.CheckpointDir, fmt.Sprintf("final-step%04d.pvq", s.last))
+	if err := nn.SaveFile(path, s.tr.Reps[src].Model); err != nil {
+		return err
+	}
+	s.stats.FinalCheckpoint = path
+	return nil
+}

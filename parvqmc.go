@@ -27,6 +27,7 @@ import (
 	"github.com/vqmc-scale/parvqmc/internal/core"
 	"github.com/vqmc-scale/parvqmc/internal/device"
 	"github.com/vqmc-scale/parvqmc/internal/dist"
+	"github.com/vqmc-scale/parvqmc/internal/elastic"
 	"github.com/vqmc-scale/parvqmc/internal/exact"
 	"github.com/vqmc-scale/parvqmc/internal/graph"
 	"github.com/vqmc-scale/parvqmc/internal/hamiltonian"
@@ -167,6 +168,20 @@ type Options struct {
 	// MCMC settings (zero values = paper defaults: 2 chains, burn-in
 	// 3n+100, no thinning).
 	MCMCChains, MCMCBurnIn, MCMCThin int
+	// Elastic enables supervised fault handling in TrainDistributed: on a
+	// replica failure the run replaces the dead rank (bit-identical resume,
+	// with bounded retries), falls back to continuing on the survivors as a
+	// legal smaller run, re-grows to the original width after a stretch of
+	// clean steps, and aborts with a final checkpoint only below the
+	// MinReplicas floor. Ignored by serial Train.
+	Elastic bool
+	// MinReplicas is the elastic membership floor (default 1: shrink as
+	// long as anyone survives).
+	MinReplicas int
+	// CheckpointDir, when non-empty, is where elastic recovery, growth and
+	// final checkpoints are written. Empty keeps recovery checkpoints in
+	// memory and skips the final artifact.
+	CheckpointDir string
 }
 
 func (o *Options) fill(n int) error {
@@ -262,8 +277,12 @@ func (o *Options) evalMode() core.EvalMode {
 // IterationStat is one recorded training iteration.
 type IterationStat struct {
 	Iteration int
-	Energy    float64 // batch mean local energy
-	Std       float64 // batch std-dev (vanishes at an exact eigenstate)
+	// Batch is the global number of samples behind this iteration's
+	// statistics — devices x mini-batch in distributed training, where
+	// elastic membership changes can move it mid-run.
+	Batch  int
+	Energy float64 // batch mean local energy
+	Std    float64 // batch std-dev (vanishes at an exact eigenstate)
 	// SRIters and SRResidual report the stochastic-reconfiguration CG
 	// solve of the iteration (zero when SR is disabled).
 	SRIters    int
@@ -289,8 +308,28 @@ type Result struct {
 	TrainTime time.Duration
 	// ForwardPasses counts sampling work in the paper's Figure 1 units.
 	ForwardPasses int64
+	// Elastic summarizes supervised fault handling; nil unless
+	// Options.Elastic was set on a TrainDistributed run.
+	Elastic *ElasticStats
 
 	model nn.Wavefunction
+}
+
+// ElasticStats summarizes what the elastic supervisor did during a
+// TrainDistributed run with Options.Elastic set.
+type ElasticStats struct {
+	// Failures is the number of failed steps handled.
+	Failures int
+	// Replacements, Retries: successful dead-rank replacements and the
+	// extra recovery attempts they took.
+	Replacements, Retries int
+	// Shrinks and Grows count membership changes.
+	Shrinks, Grows int
+	// FinalReplicas is the width the run finished at.
+	FinalReplicas int
+	// FinalCheckpoint is the final checkpoint artifact's path ("" when
+	// Options.CheckpointDir was empty).
+	FinalCheckpoint string
 }
 
 // SaveModel writes the trained wavefunction to path in the library's
@@ -411,14 +450,53 @@ func Train(p *Problem, o Options) (*Result, error) {
 		model:         model,
 	}
 	for _, s := range curve {
-		res.Curve = append(res.Curve, IterationStat{Iteration: s.Iter, Energy: s.Energy, Std: s.Std,
-			SRIters: s.SRIters, SRResidual: s.SRResidual})
+		res.Curve = append(res.Curve, IterationStat{Iteration: s.Iter, Batch: s.Batch,
+			Energy: s.Energy, Std: s.Std, SRIters: s.SRIters, SRResidual: s.SRResidual})
 	}
 	if cut, ok := p.CutOf(mean); ok {
 		res.Cut = cut
 		res.BestCut, _ = p.CutOf(best)
 	}
 	return res, nil
+}
+
+// distModel constructs one replica's wavefunction. Every replica is built
+// from an identical init stream, so parameters start bit-identical.
+func (o Options) distModel(n int) dist.Model {
+	init := rng.New(o.Seed + 12345)
+	switch o.Model {
+	case "nade":
+		return nn.NewNADE(n, o.Hidden, init)
+	case "rnn":
+		return nn.NewRNN(n, o.Hidden, init)
+	default:
+		return nn.NewMADE(n, o.Hidden, init)
+	}
+}
+
+// distSampler constructs the exact ancestral sampler for a distributed
+// replica's model, honoring the BatchedEval knob (both paths draw
+// bit-identical samples from the same stream).
+func (o Options) distSampler(n int, m dist.Model, stream *rng.Rand) (sampler.Sampler, error) {
+	switch mm := m.(type) {
+	case *nn.MADE:
+		if o.batchedOn() {
+			return sampler.NewAutoBatched(n, mm, 1, stream), nil
+		}
+		return sampler.NewAutoMADE(mm, true, 1, stream), nil
+	case *nn.NADE:
+		if o.batchedOn() {
+			return sampler.NewAutoBatched(n, mm, 1, stream), nil
+		}
+		return sampler.NewAuto(n, mm.NewIncrementalEvaluator, 1, stream), nil
+	case *nn.RNNWavefunction:
+		if o.batchedOn() {
+			return sampler.NewAutoBatched(n, mm, 1, stream), nil
+		}
+		return sampler.NewAuto(n, mm.NewIncrementalEvaluator, 1, stream), nil
+	default:
+		return nil, fmt.Errorf("parvqmc: no distributed sampler for model %T", m)
+	}
 }
 
 // TrainDistributed runs the paper's data-parallel scheme: devices replicas
@@ -438,6 +516,14 @@ func Train(p *Problem, o Options) (*Result, error) {
 // fans each replica's local-energy and gradient evaluation across that many
 // goroutines — the two-level replica x worker scheme modeling node x GPU
 // hierarchies. Neither knob perturbs the bit-identity of the replicas.
+//
+// With Options.Elastic set, the run is supervised: a replica failure is
+// handled by replacement (bit-identical resume, bounded retries with
+// backoff), then by shrinking to the survivors as a legal smaller run, with
+// re-growth to the original width after a stretch of clean steps, and a
+// clean checkpointed abort below the Options.MinReplicas floor. The per-step
+// Batch column of the returned curve records the effective global batch the
+// membership provided at each iteration.
 func TrainDistributed(p *Problem, o Options, devices, miniBatch int) (*Result, error) {
 	n := p.Sites()
 	if err := o.fill(n); err != nil {
@@ -460,34 +546,10 @@ func TrainDistributed(p *Problem, o Options, devices, miniBatch int) (*Result, e
 	streams := rng.New(o.Seed).SplitN(devices)
 	reps := make([]dist.Replica, devices)
 	for rdev := 0; rdev < devices; rdev++ {
-		init := rng.New(o.Seed + 12345) // identical init on every replica
-		var m dist.Model
-		var smp sampler.Sampler
-		switch o.Model {
-		case "made":
-			mm := nn.NewMADE(n, o.Hidden, init)
-			m = mm
-			if o.batchedOn() {
-				smp = sampler.NewAutoBatched(n, mm, 1, streams[rdev])
-			} else {
-				smp = sampler.NewAutoMADE(mm, true, 1, streams[rdev])
-			}
-		case "nade":
-			mm := nn.NewNADE(n, o.Hidden, init)
-			m = mm
-			if o.batchedOn() {
-				smp = sampler.NewAutoBatched(n, mm, 1, streams[rdev])
-			} else {
-				smp = sampler.NewAuto(n, mm.NewIncrementalEvaluator, 1, streams[rdev])
-			}
-		case "rnn":
-			mm := nn.NewRNN(n, o.Hidden, init)
-			m = mm
-			if o.batchedOn() {
-				smp = sampler.NewAutoBatched(n, mm, 1, streams[rdev])
-			} else {
-				smp = sampler.NewAuto(n, mm.NewIncrementalEvaluator, 1, streams[rdev])
-			}
+		m := o.distModel(n)
+		smp, err := o.distSampler(n, m, streams[rdev])
+		if err != nil {
+			return nil, err
 		}
 		opt, sr := o.buildOptimizer()
 		reps[rdev] = dist.Replica{
@@ -503,20 +565,64 @@ func TrainDistributed(p *Problem, o Options, devices, miniBatch int) (*Result, e
 	if err != nil {
 		return nil, err
 	}
+
+	var hist []core.IterStats
+	var estats *ElasticStats
 	start := time.Now()
-	hist, err := tr.Train(o.Iterations, nil)
-	if err != nil {
-		return nil, fmt.Errorf("parvqmc: distributed training failed: %w", err)
+	if o.Elastic {
+		// Replacement and admitted ranks get their own deterministic sampler
+		// streams, keyed by rank and seed. Recover rewinds a replacement to
+		// the dead rank's stream position anyway; an admitted (Grow) rank
+		// keeps this stream.
+		build := func(rank int, model dist.Model) (dist.Replica, error) {
+			smp, err := o.distSampler(n, model, rng.New(o.Seed+0x9E3779B9+uint64(rank)*0x1000003))
+			if err != nil {
+				return dist.Replica{}, err
+			}
+			opt, sr := o.buildOptimizer()
+			return dist.Replica{Model: model, Smp: smp, Opt: opt, SR: sr,
+				Workers: workers, Eval: o.evalMode()}, nil
+		}
+		tr.SetCollectiveDeadline(30 * time.Second)
+		sup, err := elastic.New(tr, elastic.Policy{
+			MinReplicas:   o.MinReplicas,
+			MaxRetries:    2,
+			Backoff:       100 * time.Millisecond,
+			BackoffMax:    2 * time.Second,
+			CheckpointDir: o.CheckpointDir,
+			Builder:       build,
+			GrowAfter:     10,
+		})
+		if err != nil {
+			return nil, err
+		}
+		hist, err = sup.Train(o.Iterations, nil)
+		tr = sup.Trainer()
+		st := sup.Stats()
+		if err != nil {
+			return nil, fmt.Errorf("parvqmc: supervised distributed training aborted after %d steps (final checkpoint %q): %w",
+				len(hist), st.FinalCheckpoint, err)
+		}
+		estats = &ElasticStats{
+			Failures: st.Failures, Replacements: st.Replacements, Retries: st.Retries,
+			Shrinks: st.Shrinks, Grows: st.Grows,
+			FinalReplicas: tr.Devices(), FinalCheckpoint: st.FinalCheckpoint,
+		}
+	} else {
+		hist, err = tr.Train(o.Iterations, nil)
+		if err != nil {
+			return nil, fmt.Errorf("parvqmc: distributed training failed: %w", err)
+		}
 	}
 	elapsed := time.Since(start)
 	mean, std, err := tr.Evaluate(o.EvalBatch)
 	if err != nil {
 		return nil, fmt.Errorf("parvqmc: distributed evaluation failed: %w", err)
 	}
-	res := &Result{Energy: mean, Std: std, TrainTime: elapsed}
+	res := &Result{Energy: mean, Std: std, TrainTime: elapsed, Elastic: estats}
 	for _, s := range hist {
-		res.Curve = append(res.Curve, IterationStat{Iteration: s.Iter, Energy: s.Energy, Std: s.Std,
-			SRIters: s.SRIters, SRResidual: s.SRResidual})
+		res.Curve = append(res.Curve, IterationStat{Iteration: s.Iter, Batch: s.Batch,
+			Energy: s.Energy, Std: s.Std, SRIters: s.SRIters, SRResidual: s.SRResidual})
 	}
 	if cut, ok := p.CutOf(mean); ok {
 		res.Cut = cut

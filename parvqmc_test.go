@@ -2,6 +2,7 @@ package parvqmc
 
 import (
 	"math"
+	"os"
 	"testing"
 )
 
@@ -116,6 +117,61 @@ func TestTrainDistributed(t *testing.T) {
 	}
 	if _, err := TrainDistributed(p, Options{}, 0, 4); err == nil {
 		t.Fatal("zero devices should error")
+	}
+}
+
+// TestTrainDistributedElastic runs the supervised (elastic) path through the
+// facade. No fault fires at this layer — the test pins the wiring: the
+// elastic run is bit-identical to the plain distributed run with the same
+// options, the Batch column reports the global effective batch, the Elastic
+// summary is populated, and the final checkpoint artifact lands in
+// CheckpointDir and reloads.
+func TestTrainDistributedElastic(t *testing.T) {
+	p := TIM(7, 11)
+	o := Options{Hidden: 12, Iterations: 20, EvalBatch: 128, LearningRate: 0.05, Seed: 12}
+	plain, err := TrainDistributed(p, o, 3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	o.Elastic = true
+	o.MinReplicas = 2
+	o.CheckpointDir = dir
+	res, err := TrainDistributed(p, o, 3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Energy != plain.Energy || res.Std != plain.Std {
+		t.Fatalf("elastic run diverged: energy %v vs %v", res.Energy, plain.Energy)
+	}
+	if len(res.Curve) != len(plain.Curve) {
+		t.Fatalf("curve length %d vs %d", len(res.Curve), len(plain.Curve))
+	}
+	for i := range res.Curve {
+		if res.Curve[i] != plain.Curve[i] {
+			t.Fatalf("iteration %d diverged: %+v vs %+v", i+1, res.Curve[i], plain.Curve[i])
+		}
+		if res.Curve[i].Batch != 3*16 {
+			t.Fatalf("iteration %d batch %d, want %d", i+1, res.Curve[i].Batch, 3*16)
+		}
+	}
+	if res.Elastic == nil {
+		t.Fatal("elastic run returned no ElasticStats")
+	}
+	if res.Elastic.FinalReplicas != 3 || res.Elastic.Failures != 0 {
+		t.Fatalf("ElasticStats = %+v, want a clean 3-replica run", res.Elastic)
+	}
+	if res.Elastic.FinalCheckpoint == "" {
+		t.Fatal("elastic run left no final checkpoint")
+	}
+	if _, err := os.Stat(res.Elastic.FinalCheckpoint); err != nil {
+		t.Fatalf("final checkpoint missing: %v", err)
+	}
+	// MinReplicas above the width is rejected up front.
+	bad := o
+	bad.MinReplicas = 4
+	if _, err := TrainDistributed(p, bad, 3, 16); err == nil {
+		t.Fatal("MinReplicas above the device count should error")
 	}
 }
 
