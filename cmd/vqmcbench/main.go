@@ -10,6 +10,8 @@
 //	vqmcbench -model nade -quick                   # NADE batched-path smoke
 //	GOMAXPROCS=4 vqmcbench -model all -workers 1,2,4   # worker-scaling matrix
 //	vqmcbench -mttr -out BENCH_pr9.json            # elastic repair: replace vs shrink at L=4
+//	vqmcbench -serve -out BENCH_pr10.json          # serving: coalesced vs per-request dispatch
+//	vqmcbench -serve -quick -out /tmp/smoke.json   # serve CI smoke (seconds)
 //
 // A -workers sweep emits one JSON row per (phase, model, worker count), and
 // every row records the gomaxprocs/num_cpu it ran under, so scaling curves
@@ -62,12 +64,13 @@ type Result struct {
 
 // Report is the emitted JSON document.
 type Report struct {
-	PR         string   `json:"pr"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	NumCPU     int      `json:"num_cpu"`
-	GoVersion  string   `json:"go_version"`
-	Note       string   `json:"note"`
-	Results    []Result `json:"results"`
+	PR         string     `json:"pr"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	NumCPU     int        `json:"num_cpu"`
+	GoVersion  string     `json:"go_version"`
+	Note       string     `json:"note"`
+	Results    []Result   `json:"results,omitempty"`
+	Serve      []ServeRow `json:"serve,omitempty"`
 }
 
 // timeIt runs fn repeatedly until minDur elapses (at least once) and
@@ -95,12 +98,33 @@ func main() {
 		minMS   = flag.Int("min-ms", 2000, "minimum measurement time per case, milliseconds")
 		quick   = flag.Bool("quick", false, "CI smoke: tiny sizes, one short measurement per case")
 		mttr    = flag.Bool("mttr", false, "time elastic repair instead: replace (Recover) vs shrink-to-survivors at L=4 on a scripted failure")
+		srv     = flag.Bool("serve", false, "load-test the inference service instead: coalesced vs per-request dispatch, responses verified bitwise")
 		out     = flag.String("out", "BENCH_pr8.json", "output JSON path")
 	)
 	flag.Parse()
 
 	if *quick {
 		*n, *hsz, *batch, *minMS = 10, 12, 64, 1
+	}
+	if *srv {
+		// The serve load harness defaults to the serving-regime model size
+		// (16 sites, hidden 32: request overhead and eval cost comparable,
+		// where coalescing is decision-relevant) rather than the GEMM
+		// bench's larger -n/-hidden defaults; explicit flags still win.
+		sn, sh := 16, 32
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "n":
+				sn = *n
+			case "hidden":
+				sh = *hsz
+			}
+		})
+		if *quick {
+			sn, sh = *n, *hsz
+		}
+		runServe(sn, sh, *quick, *out)
+		return
 	}
 	if *mttr {
 		runMTTR(*n, *hsz, *batch, time.Duration(*minMS)*time.Millisecond, *out)

@@ -129,6 +129,18 @@ func (e *BatchedEval) LocalEnergies(h hamiltonian.Hamiltonian, b *sampler.Batch,
 	})
 }
 
+// LogPsi fills out[k] = log|psi(row k)| through the batched GEMM path —
+// bitwise identical to per-row scalar model.LogPsi calls by the
+// nn.BatchEvaluator contract. It is the shared amplitude dispatch the
+// serving layer folds coalesced cross-request batches through: because
+// every row's value is pinned to the scalar LogPsi of that row alone, the
+// result for a given configuration is invariant to which other rows share
+// the batch, which is what makes request coalescing invisible in served
+// values. len(out) must be b.N.
+func (e *BatchedEval) LogPsi(b *sampler.Batch, out []float64) {
+	e.be.LogPsiBatch(configs(b), out)
+}
+
 // FillOws is the batched counterpart of FillOws: per-sample log-derivative
 // rows via one fused forward over the batch plus the shared analytic
 // backward. Bitwise identical to the scalar FillOws.

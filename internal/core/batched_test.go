@@ -287,3 +287,46 @@ func benchFillOws(b *testing.B, batched bool) {
 // (O_k) evaluation paths at the same working point.
 func BenchmarkFillOwsScalar(b *testing.B)  { benchFillOws(b, false) }
 func BenchmarkFillOwsBatched(b *testing.B) { benchFillOws(b, true) }
+
+// TestBatchedEvalLogPsiBitIdentical: the serving layer's shared amplitude
+// dispatch must reproduce per-row scalar LogPsi with exact ==, for every
+// model family and independent of batch composition — the row-local
+// property the cross-request coalescer's invariance rests on.
+func TestBatchedEvalLogPsiBitIdentical(t *testing.T) {
+	const n = 9
+	models := []struct {
+		name string
+		wf   nn.Wavefunction
+	}{
+		{"made", nn.NewMADE(n, 11, rng.New(901))},
+		{"rbm", nn.NewRBM(n, 11, rng.New(902))},
+		{"nade", nn.NewNADE(n, 11, rng.New(903))},
+		{"rnn", nn.NewRNN(n, 11, rng.New(904))},
+	}
+	for _, mc := range models {
+		for _, bs := range []int{1, 3, 64} {
+			b := sampler.NewBatch(bs, n)
+			rng.New(uint64(910 + bs)).FillBits(b.Bits)
+			e := NewBatchedEval(mc.wf, EvalAuto, 2)
+			if e == nil {
+				t.Fatalf("%s: no batched path", mc.name)
+			}
+			got := make([]float64, bs)
+			e.LogPsi(b, got)
+			for k := 0; k < bs; k++ {
+				if want := mc.wf.LogPsi(b.Row(k)); got[k] != want {
+					t.Fatalf("%s B=%d row %d: batched %v != scalar %v", mc.name, bs, k, got[k], want)
+				}
+			}
+			// Row-composition invariance: the same row inside a batch of
+			// strangers must produce the same bytes as a single-row batch.
+			one := sampler.NewBatch(1, n)
+			copy(one.Bits, b.Row(bs-1))
+			solo := make([]float64, 1)
+			e.LogPsi(one, solo)
+			if solo[0] != got[bs-1] {
+				t.Fatalf("%s: solo %v != coalesced %v", mc.name, solo[0], got[bs-1])
+			}
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package nn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/vqmc-scale/parvqmc/internal/rng"
+)
+
+// TestHotSwapParams pins the hot-swap primitive: after swapping a live
+// model onto a checkpoint's parameters, LogPsi must be bitwise equal to the
+// checkpoint source's LogPsi (the derived caches rebuild through
+// InvalidateParams, so the masked-weight products see the new version).
+func TestHotSwapParams(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func(seed uint64) Wavefunction
+	}{
+		{"made", func(s uint64) Wavefunction { return NewMADE(9, 11, rng.New(s)) }},
+		{"rbm", func(s uint64) Wavefunction { return NewRBM(9, 11, rng.New(s)) }},
+		{"nade", func(s uint64) Wavefunction { return NewNADE(9, 11, rng.New(s)) }},
+		{"rnn", func(s uint64) Wavefunction { return NewRNN(9, 11, rng.New(s)) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			live, src := tc.mk(1), tc.mk(2)
+			x := make([]int, 9)
+			rng.New(5).FillBits(x)
+			// Force the live model's lazy caches to materialize on the OLD
+			// parameters first, so the swap's invalidation is load-bearing.
+			_ = live.LogPsi(x)
+			if err := HotSwapParams(live, src); err != nil {
+				t.Fatalf("HotSwapParams: %v", err)
+			}
+			if got, want := live.LogPsi(x), src.LogPsi(x); got != want {
+				t.Fatalf("%s: post-swap LogPsi %v != source %v", tc.name, got, want)
+			}
+		})
+	}
+}
+
+// TestHotSwapParamsRoundTripsCheckpoint pins the serving path end to end:
+// save a model, load it back through the checkpoint reader, hot-swap a live
+// model onto it, and require bitwise-equal amplitudes.
+func TestHotSwapParamsRoundTripsCheckpoint(t *testing.T) {
+	src := NewMADE(8, 10, rng.New(3))
+	var buf bytes.Buffer
+	if err := SaveWavefunction(&buf, src); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	loaded, err := LoadWavefunction(&buf)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	live := NewMADE(8, 10, rng.New(4))
+	if err := HotSwapParams(live, loaded); err != nil {
+		t.Fatalf("swap: %v", err)
+	}
+	x := make([]int, 8)
+	rng.New(6).FillBits(x)
+	if got, want := live.LogPsi(x), src.LogPsi(x); got != want {
+		t.Fatalf("round-tripped swap LogPsi %v != original %v", got, want)
+	}
+}
+
+// TestHotSwapParamsRejectsMismatches locks the validation teeth: family,
+// site-count, and width mismatches must all refuse to swap.
+func TestHotSwapParamsRejectsMismatches(t *testing.T) {
+	made := NewMADE(8, 10, rng.New(1))
+	cases := []struct {
+		name string
+		src  Wavefunction
+		frag string
+	}{
+		{"family", NewRBM(8, 10, rng.New(2)), "family mismatch"},
+		{"sites", NewMADE(9, 10, rng.New(2)), "architecture mismatch"},
+		{"width", NewMADE(8, 12, rng.New(2)), "architecture mismatch"},
+	}
+	for _, tc := range cases {
+		err := HotSwapParams(made, tc.src)
+		if err == nil || !strings.Contains(err.Error(), tc.frag) {
+			t.Fatalf("%s: want error containing %q, got %v", tc.name, tc.frag, err)
+		}
+	}
+}
+
+// TestKindName pins the family-name vocabulary shared with the CLI flags.
+func TestKindName(t *testing.T) {
+	if got := KindName(NewMADE(4, 4, rng.New(1))); got != "made" {
+		t.Fatalf("made: %q", got)
+	}
+	if got := KindName(NewRBM(4, 4, rng.New(1))); got != "rbm" {
+		t.Fatalf("rbm: %q", got)
+	}
+	if got := KindName(NewNADE(4, 4, rng.New(1))); got != "nade" {
+		t.Fatalf("nade: %q", got)
+	}
+	if got := KindName(NewRNN(4, 4, rng.New(1))); got != "rnn" {
+		t.Fatalf("rnn: %q", got)
+	}
+	if got := KindName(nil); got != "" {
+		t.Fatalf("nil: %q", got)
+	}
+}

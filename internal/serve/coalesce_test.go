@@ -1,0 +1,356 @@
+package serve
+
+// Property tests for the coalescer's lifecycle invariants: no request is
+// dropped, duplicated, or cross-wired under concurrent submit / cancel /
+// timeout, admission control rejects deterministically, and the pending
+// reservation always drains back to zero.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/vqmc-scale/parvqmc/internal/core"
+	"github.com/vqmc-scale/parvqmc/internal/hamiltonian"
+	"github.com/vqmc-scale/parvqmc/internal/nn"
+	"github.com/vqmc-scale/parvqmc/internal/rng"
+	"github.com/vqmc-scale/parvqmc/internal/sampler"
+)
+
+// directLogPsi computes the single-caller reference for configs.
+func directLogPsi(wf nn.Wavefunction, configs [][]int) []float64 {
+	b := sampler.NewBatch(len(configs), len(configs[0]))
+	for k, row := range configs {
+		copy(b.Row(k), row)
+	}
+	out := make([]float64, b.N)
+	core.NewBatchedEval(wf, core.EvalAuto, 1).LogPsi(b, out)
+	return out
+}
+
+// TestCoalescerNoDropDupCrosswire floods one model from many clients whose
+// workloads all differ, with a mix of request sizes and kinds, and asserts
+// every single response carries exactly its own client's values — the
+// cross-wiring detector — and that every submit completes exactly once
+// (the test would hang on a drop; a duplicate would double-close ready and
+// panic).
+func TestCoalescerNoDropDupCrosswire(t *testing.T) {
+	const n, h = 9, 10
+	const clients, iters = 48, 20
+	wf := buildWF("made", n, h, 7)
+	ham := hamiltonian.RandomTIM(n, rng.New(8))
+	s := NewServer(ServerConfig{})
+	err := s.Register("m", ModelSpec{WF: wf, Ham: ham, Config: Config{
+		MaxBatch: 16, Window: 100 * time.Microsecond, MaxPending: 1 << 14,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	ref := core.NewBatchedEval(wf, core.EvalAuto, 1)
+	refHam := func(configs [][]int) []float64 {
+		b := sampler.NewBatch(len(configs), n)
+		for k, row := range configs {
+			copy(b.Row(k), row)
+		}
+		out := make([]float64, b.N)
+		ref.LocalEnergies(ham, b, 1, out)
+		return out
+	}
+	type workload struct {
+		configs [][]int
+		lp, en  []float64
+	}
+	works := make([]workload, clients)
+	for c := range works {
+		rows := 1 + c%5
+		cfgs := clientConfigs(c, rows, n)
+		works[c] = workload{configs: cfgs, lp: directLogPsi(wf, cfgs), en: refHam(cfgs)}
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			w := works[c]
+			for it := 0; it < iters; it++ {
+				var got, want []float64
+				var err error
+				if (c+it)%2 == 0 {
+					got, err = s.LogPsi(context.Background(), "m", w.configs)
+					want = w.lp
+				} else {
+					got, err = s.LocalEnergy(context.Background(), "m", w.configs)
+					want = w.en
+				}
+				if err != nil {
+					errCh <- fmt.Errorf("client %d it %d: %w", c, it, err)
+					return
+				}
+				if len(got) != len(want) {
+					errCh <- fmt.Errorf("client %d it %d: %d values, want %d", c, it, len(got), len(want))
+					return
+				}
+				for k := range got {
+					if got[k] != want[k] {
+						errCh <- fmt.Errorf("client %d it %d row %d: cross-wired? served %v != own %v", c, it, k, got[k], want[k])
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	st, _ := s.ModelStats("m")
+	if want := uint64(clients * iters); st.Requests != want {
+		t.Fatalf("served %d requests, want %d", st.Requests, want)
+	}
+	m, _ := s.lookup("m")
+	if p := m.pendingRows.Load(); p != 0 {
+		t.Fatalf("pending rows did not drain: %d", p)
+	}
+}
+
+// TestCoalescerCancelAndTimeout races cancellations against a slow window:
+// every submit must terminate with either its correct value or a context
+// error, never hang, and the admission reservation must drain to zero —
+// including for requests cancelled while waiting in the queue.
+func TestCoalescerCancelAndTimeout(t *testing.T) {
+	const n, h = 8, 10
+	wf := buildWF("made", n, h, 11)
+	s := NewServer(ServerConfig{})
+	// Wide window so a cancel deadline (shorter) reliably fires while
+	// requests sit in the open batch.
+	err := s.Register("m", ModelSpec{WF: wf, Config: Config{
+		MaxBatch: 1 << 12, Window: 20 * time.Millisecond, MaxPending: 1 << 14,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const clients, iters = 32, 10
+	works := make([][][]int, clients)
+	wants := make([][]float64, clients)
+	for c := range works {
+		works[c] = clientConfigs(c, 1+c%3, n)
+		wants[c] = directLogPsi(wf, works[c])
+	}
+	var wg sync.WaitGroup
+	var okCount, cancelCount int64
+	var mu sync.Mutex
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				ctx := context.Background()
+				var cancel context.CancelFunc
+				switch it % 3 {
+				case 1: // deadline inside the window: times out in queue
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(c%5)*time.Millisecond)
+				case 2: // pre-cancelled
+					ctx, cancel = context.WithCancel(ctx)
+					cancel()
+				}
+				got, err := s.LogPsi(ctx, "m", works[c])
+				if cancel != nil {
+					cancel()
+				}
+				switch {
+				case err == nil:
+					for k := range got {
+						if got[k] != wants[c][k] {
+							errCh <- fmt.Errorf("client %d it %d row %d: %v != %v", c, it, k, got[k], wants[c][k])
+							return
+						}
+					}
+					mu.Lock()
+					okCount++
+					mu.Unlock()
+				case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+					mu.Lock()
+					cancelCount++
+					mu.Unlock()
+				default:
+					errCh <- fmt.Errorf("client %d it %d: unexpected error %v", c, it, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if okCount == 0 || cancelCount == 0 {
+		t.Fatalf("degenerate mix: ok=%d cancelled=%d", okCount, cancelCount)
+	}
+	// The dispatcher owns every admitted request to completion, so the
+	// reservation must drain even for abandoned waits.
+	m, _ := s.lookup("m")
+	deadline := time.Now().Add(2 * time.Second)
+	for m.pendingRows.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("pending rows stuck at %d", m.pendingRows.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAdmissionControl pins the rejection path: with a tiny MaxPending and
+// a dispatcher parked in a long window, exactly MaxPending rows are
+// admitted and the rest bounce with ErrOverloaded — and every admitted
+// request still completes correctly once the window fires.
+func TestAdmissionControl(t *testing.T) {
+	const n, h = 8, 10
+	const maxPending = 8
+	const attempts = 24
+	wf := buildWF("made", n, h, 13)
+	s := NewServer(ServerConfig{})
+	err := s.Register("m", ModelSpec{WF: wf, Config: Config{
+		MaxBatch: 1 << 12, Window: 150 * time.Millisecond, MaxPending: maxPending,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	cfgs := clientConfigs(0, 1, n)
+	want := directLogPsi(wf, cfgs)
+
+	// Park the dispatcher: the first request opens the 150ms window, and
+	// nothing completes (releasing reservations) until it fires.
+	results := make(chan error, attempts)
+	var wg sync.WaitGroup
+	for i := 0; i < attempts; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := s.LogPsi(context.Background(), "m", cfgs)
+			if err == nil && got[0] != want[0] {
+				err = fmt.Errorf("wrong value %v != %v", got[0], want[0])
+			}
+			results <- err
+		}()
+		// Serialize admission decisions so exactly the first maxPending
+		// attempts win the reservation race.
+		time.Sleep(2 * time.Millisecond)
+	}
+	wg.Wait()
+	close(results)
+	var ok, rejected int
+	for err := range results {
+		switch {
+		case err == nil:
+			ok++
+		case errors.Is(err, ErrOverloaded):
+			rejected++
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if ok != maxPending || rejected != attempts-maxPending {
+		t.Fatalf("admission split ok=%d rejected=%d, want %d/%d", ok, rejected, maxPending, attempts-maxPending)
+	}
+	st, _ := s.ModelStats("m")
+	if st.Rejected != uint64(rejected) {
+		t.Fatalf("rejected counter %d, want %d", st.Rejected, rejected)
+	}
+}
+
+// TestSwapIsQueueBarrier pins the hot-swap ordering semantics directly on
+// the queue: requests enqueued before a swap see the old parameters,
+// requests enqueued after it see the new — even when they all sit in the
+// same window.
+func TestSwapIsQueueBarrier(t *testing.T) {
+	const n, h = 8, 10
+	live := buildWF("made", n, h, 21)
+	next := buildWF("made", n, h, 22)
+	cfgs := clientConfigs(3, 2, n)
+	wantOld := directLogPsi(live, cfgs)
+	wantNew := directLogPsi(next, cfgs)
+	for k := range wantOld {
+		if wantOld[k] == wantNew[k] {
+			t.Fatalf("degenerate fixture: old and new params agree on row %d", k)
+		}
+	}
+
+	s := NewServer(ServerConfig{})
+	// Long window: everything below lands in one collect cycle, forcing
+	// the barrier logic (not timing luck) to split the batch.
+	err := s.Register("m", ModelSpec{WF: live, Config: Config{
+		MaxBatch: 1 << 12, Window: 100 * time.Millisecond, MaxPending: 1 << 12,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	type outcome struct {
+		got []float64
+		err error
+	}
+	submit := func() chan outcome {
+		ch := make(chan outcome, 1)
+		go func() {
+			got, err := s.LogPsi(context.Background(), "m", cfgs)
+			ch <- outcome{got, err}
+		}()
+		return ch
+	}
+	// Enqueue strictly: request A, then the swap, then request B. The
+	// admission reservation becomes visible just before A's channel send,
+	// and the send itself is a handful of non-blocking instructions, so a
+	// generous settle after the reservation orders the swap behind A.
+	m, _ := s.lookup("m")
+	chA := submit()
+	deadline := time.Now().Add(2 * time.Second)
+	for m.pendingRows.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("request A never admitted")
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	// Swap blocks until applied, which (queue barrier) happens only after
+	// A's group — still inside its 100ms window — is dispatched on the old
+	// parameters. B then trivially lands after the swap.
+	if err := s.Swap(context.Background(), "m", next); err != nil {
+		t.Fatalf("swap: %v", err)
+	}
+	a := <-chA
+	if a.err != nil {
+		t.Fatalf("A: %v", a.err)
+	}
+	b := <-submit()
+	if b.err != nil {
+		t.Fatalf("B: %v", b.err)
+	}
+	for k := range a.got {
+		if a.got[k] != wantOld[k] {
+			t.Fatalf("pre-swap request row %d: %v != old %v", k, a.got[k], wantOld[k])
+		}
+	}
+	for k := range b.got {
+		if b.got[k] != wantNew[k] {
+			t.Fatalf("post-swap request row %d: %v != new %v", k, b.got[k], wantNew[k])
+		}
+	}
+	st, _ := s.ModelStats("m")
+	if st.Swaps != 1 {
+		t.Fatalf("swap counter %d, want 1", st.Swaps)
+	}
+}

@@ -1,0 +1,162 @@
+package serve
+
+// FuzzCoalescer drives a live coalescer with a byte-string-derived
+// configuration and operation stream — concurrent submits, cancellations,
+// and hot-swaps against fuzzer-chosen window/batch/admission tuning — and
+// holds the lifecycle invariants: every operation terminates with either a
+// bitwise-correct value or a declared error (ErrOverloaded / ErrDraining /
+// context error), nothing hangs, and the admission reservation drains to
+// zero. Runs in CI's fuzz smoke alongside FuzzChunkBounds.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func FuzzCoalescer(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0xff, 0x00, 0xaa, 0x55, 0x13, 0x37})
+	f.Add([]byte{9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) == 0 || len(ops) > 64 {
+			t.Skip()
+		}
+		const n, h = 7, 8
+		at := func(i int) byte { return ops[i%len(ops)] }
+
+		// Fuzzer-chosen tuning. Window spans the degenerate cases: never
+		// wait, tiny, and "longer than the test" (forcing MaxBatch or
+		// drain to close groups).
+		maxBatch := 1 + int(at(0))%16
+		maxPending := 1 + int(at(1))%12
+		var window time.Duration
+		switch at(2) % 3 {
+		case 0:
+			window = ExplicitZeroWindow
+		case 1:
+			window = time.Duration(1+at(2)%100) * time.Microsecond
+		case 2:
+			window = time.Hour
+		}
+
+		wfA := buildWF("made", n, h, 71)
+		wfB := buildWF("made", n, h, 72)
+		live := buildWF("made", n, h, 73)
+		s := NewServer(ServerConfig{})
+		err := s.Register("m", ModelSpec{WF: live, Config: Config{
+			MaxBatch: maxBatch, Window: window, MaxPending: maxPending,
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Swap(context.Background(), "m", wfA); err != nil {
+			t.Fatal(err)
+		}
+
+		// Per-workload references under both parameter sets: any served
+		// value must equal one of them, wholesale.
+		const workloads = 4
+		type ref struct {
+			configs [][]int
+			a, b    []float64
+		}
+		refs := make([]ref, workloads)
+		for wl := range refs {
+			cfgs := clientConfigs(100+wl, 1+wl%2, n)
+			refs[wl] = ref{configs: cfgs, a: directLogPsi(wfA, cfgs), b: directLogPsi(wfB, cfgs)}
+		}
+
+		var wg sync.WaitGroup
+		errCh := make(chan error, len(ops))
+		for i := range ops {
+			op := at(i)
+			wg.Add(1)
+			switch op % 8 {
+			case 6: // hot-swap
+				go func(i int) {
+					defer wg.Done()
+					src := wfA
+					if at(i+1)%2 == 0 {
+						src = wfB
+					}
+					if err := s.Swap(context.Background(), "m", src); err != nil && !errors.Is(err, ErrDraining) {
+						errCh <- fmt.Errorf("op %d swap: %v", i, err)
+					}
+				}(i)
+			case 7: // cancelled submit
+				go func(i int) {
+					defer wg.Done()
+					ctx, cancel := context.WithTimeout(context.Background(), time.Duration(at(i+1)%50)*time.Microsecond)
+					defer cancel()
+					wl := refs[int(at(i+2))%workloads]
+					got, err := s.LogPsi(ctx, "m", wl.configs)
+					checkOutcome(errCh, i, got, err, wl.a, wl.b)
+				}(i)
+			default: // plain submit
+				go func(i int) {
+					defer wg.Done()
+					wl := refs[int(at(i+3))%workloads]
+					got, err := s.LogPsi(context.Background(), "m", wl.configs)
+					checkOutcome(errCh, i, got, err, wl.a, wl.b)
+				}(i)
+			}
+		}
+
+		// With an hour-long window the only thing that closes a partial
+		// group is MaxBatch or the drain — so the drain below is load-
+		// bearing: if it hangs, requests hang, and the fuzz run times out
+		// (a found bug, not flake).
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		if window == time.Hour {
+			time.Sleep(time.Millisecond)
+			s.Close()
+		}
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatal("coalescer hung: operations did not terminate")
+		}
+		s.Close()
+		close(errCh)
+		for err := range errCh {
+			t.Fatal(err)
+		}
+		m, _ := s.lookup("m")
+		if p := m.pendingRows.Load(); p != 0 {
+			t.Fatalf("pending rows did not drain: %d", p)
+		}
+	})
+}
+
+// checkOutcome classifies one fuzz submit's result: a success must match
+// parameter set A or B bitwise and wholesale; failures must be declared
+// errors. Anything else is reported.
+func checkOutcome(errCh chan<- error, i int, got []float64, err error, a, b []float64) {
+	switch {
+	case err == nil:
+		matchA, matchB := true, true
+		for k := range got {
+			if got[k] != a[k] {
+				matchA = false
+			}
+			if got[k] != b[k] {
+				matchB = false
+			}
+		}
+		if !matchA && !matchB {
+			errCh <- fmt.Errorf("op %d: value matches neither parameter set", i)
+		}
+	case errors.Is(err, ErrOverloaded),
+		errors.Is(err, ErrDraining),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+	default:
+		errCh <- fmt.Errorf("op %d: undeclared error %v", i, err)
+	}
+}

@@ -1,0 +1,253 @@
+package serve
+
+// HTTP round-trip regressions: the JSON wire format must preserve the
+// bitwise doctrine (float64 values survive encode/decode exactly), the
+// checkpoint-file swap endpoint must hot-swap a live model, error mapping
+// must follow statusOf, and the served Max-Cut solve must equal the direct
+// solver call.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"github.com/vqmc-scale/parvqmc/internal/core"
+	"github.com/vqmc-scale/parvqmc/internal/graph"
+	"github.com/vqmc-scale/parvqmc/internal/hamiltonian"
+	"github.com/vqmc-scale/parvqmc/internal/maxcut"
+	"github.com/vqmc-scale/parvqmc/internal/nn"
+	"github.com/vqmc-scale/parvqmc/internal/rng"
+	"github.com/vqmc-scale/parvqmc/internal/sampler"
+)
+
+// postJSON issues one JSON POST and decodes the response body into out
+// when the status matches.
+func postJSON(t *testing.T, ts *httptest.Server, path string, body, out any, wantStatus int) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		var e errorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("POST %s: status %d, want %d (%s)", path, resp.StatusCode, wantStatus, e.Error)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("POST %s: decode: %v", path, err)
+		}
+	}
+}
+
+func TestHTTPBitwiseRoundTrip(t *testing.T) {
+	const n, h = 10, 12
+	wf := buildWF("made", n, h, 81)
+	ham := hamiltonian.RandomTIM(n, rng.New(82))
+	s := NewServer(ServerConfig{})
+	if err := s.Register("m", ModelSpec{WF: wf, Ham: ham}); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	cfgs := clientConfigs(0, 3, n)
+	wantLP := directLogPsi(wf, cfgs)
+	b := sampler.NewBatch(len(cfgs), n)
+	for k, row := range cfgs {
+		copy(b.Row(k), row)
+	}
+	wantEN := make([]float64, b.N)
+	core.NewBatchedEval(wf, core.EvalAuto, 1).LocalEnergies(ham, b, 1, wantEN)
+
+	var lp valuesResponse
+	postJSON(t, ts, "/v1/models/m/logpsi", configsRequest{Configs: cfgs}, &lp, http.StatusOK)
+	for k := range lp.Values {
+		if lp.Values[k] != wantLP[k] {
+			t.Fatalf("logpsi row %d: wire %v != direct %v (float64 bits lost in JSON)", k, lp.Values[k], wantLP[k])
+		}
+	}
+	var en valuesResponse
+	postJSON(t, ts, "/v1/models/m/energy", configsRequest{Configs: cfgs}, &en, http.StatusOK)
+	for k := range en.Values {
+		if en.Values[k] != wantEN[k] {
+			t.Fatalf("energy row %d: wire %v != direct %v", k, en.Values[k], wantEN[k])
+		}
+	}
+
+	// Sampling over the wire == direct in-process serve call.
+	wantSM, err := s.Sample(t.Context(), "m", 4, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sm sampleResponse
+	postJSON(t, ts, "/v1/models/m/sample", sampleRequest{Count: 4, Seed: 999}, &sm, http.StatusOK)
+	if len(sm.Configs) != len(wantSM) {
+		t.Fatalf("sample rows %d, want %d", len(sm.Configs), len(wantSM))
+	}
+	for k := range sm.Configs {
+		for i := range sm.Configs[k] {
+			if sm.Configs[k][i] != wantSM[k][i] {
+				t.Fatalf("sample row %d bit %d differs over the wire", k, i)
+			}
+		}
+	}
+
+	// Health, model list and stats endpoints respond.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+	var models []ModelInfo
+	resp, err = http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&models); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(models) != 1 || models[0].Name != "m" || models[0].Sites != n {
+		t.Fatalf("model list %+v", models)
+	}
+	var st Stats
+	resp, err = http.Get(ts.URL + "/v1/models/m/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Requests == 0 {
+		t.Fatal("stats show no requests after traffic")
+	}
+}
+
+func TestHTTPSwapFromCheckpoint(t *testing.T) {
+	const n, h = 8, 10
+	live := buildWF("made", n, h, 91)
+	next := buildWF("made", n, h, 92)
+	cfgs := clientConfigs(1, 2, n)
+	wantNew := directLogPsi(next, cfgs)
+
+	path := filepath.Join(t.TempDir(), "next.ckpt")
+	if err := nn.SaveFile(path, next); err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewServer(ServerConfig{})
+	if err := s.Register("m", ModelSpec{WF: live}); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	postJSON(t, ts, "/v1/models/m/swap", swapRequest{Path: path}, nil, http.StatusOK)
+	var lp valuesResponse
+	postJSON(t, ts, "/v1/models/m/logpsi", configsRequest{Configs: cfgs}, &lp, http.StatusOK)
+	for k := range lp.Values {
+		if lp.Values[k] != wantNew[k] {
+			t.Fatalf("post-swap row %d: %v != checkpoint params %v", k, lp.Values[k], wantNew[k])
+		}
+	}
+	// Swapping a missing file is a client error, and the live model keeps
+	// serving afterwards.
+	postJSON(t, ts, "/v1/models/m/swap", swapRequest{Path: path + ".missing"}, nil, http.StatusBadRequest)
+	postJSON(t, ts, "/v1/models/m/logpsi", configsRequest{Configs: cfgs}, &lp, http.StatusOK)
+}
+
+func TestHTTPErrorMapping(t *testing.T) {
+	const n, h = 8, 10
+	s := NewServer(ServerConfig{})
+	if err := s.Register("m", ModelSpec{WF: buildWF("made", n, h, 95)}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	cfgs := clientConfigs(0, 1, n)
+	// Unknown model -> 404.
+	postJSON(t, ts, "/v1/models/nope/logpsi", configsRequest{Configs: cfgs}, nil, http.StatusNotFound)
+	// Bad configs -> 400.
+	postJSON(t, ts, "/v1/models/m/logpsi", configsRequest{Configs: [][]int{{0, 2}}}, nil, http.StatusBadRequest)
+	// Unknown JSON field -> 400.
+	resp, err := http.Post(ts.URL+"/v1/models/m/logpsi", "application/json",
+		bytes.NewReader([]byte(`{"configs": [[0,1,0,1,0,1,0,1]], "bogus": 1}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: status %d, want 400", resp.StatusCode)
+	}
+	// Energy without a Hamiltonian -> 400 (unsupported).
+	postJSON(t, ts, "/v1/models/m/energy", configsRequest{Configs: cfgs}, nil, http.StatusBadRequest)
+	// Drained server -> 503.
+	s.Close()
+	postJSON(t, ts, "/v1/models/m/logpsi", configsRequest{Configs: cfgs}, nil, http.StatusServiceUnavailable)
+}
+
+func TestHTTPMaxCutMatchesDirect(t *testing.T) {
+	const nVerts, seed = 24, 4242
+	s := NewServer(ServerConfig{})
+	defer s.Close()
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	// A deterministic instance, built identically for serve and direct.
+	g := graph.New(nVerts)
+	r := rng.New(7)
+	var edges []MaxCutEdge
+	for u := 0; u < nVerts; u++ {
+		for v := u + 1; v < nVerts; v++ {
+			if r.Float64() < 0.3 {
+				w := r.Float64()
+				g.AddEdge(u, v, w)
+				edges = append(edges, MaxCutEdge{U: u, V: v, W: w})
+			}
+		}
+	}
+	for _, algo := range []string{"random", "gw", "bm"} {
+		var got MaxCutResult
+		postJSON(t, ts, "/v1/maxcut", MaxCutRequest{N: nVerts, Edges: edges, Algorithm: algo, Seed: seed}, &got, http.StatusOK)
+		var want maxcut.Result
+		switch algo {
+		case "random":
+			want = maxcut.Random(g, rng.New(seed))
+		case "gw":
+			want = maxcut.GoemansWilliamson(g, maxcut.GWConfig{}, rng.New(seed))
+		case "bm":
+			want = maxcut.BurerMonteiro(g, maxcut.BMConfig{}, rng.New(seed))
+		}
+		if got.Cut != want.Cut {
+			t.Fatalf("%s: served cut %v != direct %v", algo, got.Cut, want.Cut)
+		}
+		if len(got.Assignment) != len(want.Assignment) {
+			t.Fatalf("%s: assignment length %d != %d", algo, len(got.Assignment), len(want.Assignment))
+		}
+		for i := range got.Assignment {
+			if got.Assignment[i] != want.Assignment[i] {
+				t.Fatalf("%s: assignment[%d] %d != %d", algo, i, got.Assignment[i], want.Assignment[i])
+			}
+		}
+		if got.SDPBound != want.SDPBound {
+			t.Fatalf("%s: SDP bound %v != %v", algo, got.SDPBound, want.SDPBound)
+		}
+	}
+	// Validation teeth on the endpoint.
+	postJSON(t, ts, "/v1/maxcut", MaxCutRequest{N: 1, Edges: edges, Seed: 1}, nil, http.StatusBadRequest)
+	postJSON(t, ts, "/v1/maxcut", MaxCutRequest{N: 4, Edges: []MaxCutEdge{{U: 0, V: 9, W: 1}}, Seed: 1}, nil, http.StatusBadRequest)
+	postJSON(t, ts, "/v1/maxcut", MaxCutRequest{N: nVerts, Edges: edges, Algorithm: "nope", Seed: 1}, nil, http.StatusBadRequest)
+}

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/vqmc-scale/parvqmc/internal/graph"
+	"github.com/vqmc-scale/parvqmc/internal/maxcut"
+	"github.com/vqmc-scale/parvqmc/internal/rng"
+)
+
+// MaxCutEdge is one weighted undirected edge of a Max-Cut instance.
+type MaxCutEdge struct {
+	U int     `json:"u"`
+	V int     `json:"v"`
+	W float64 `json:"w"`
+}
+
+// MaxCutRequest describes one Max-Cut solve. Algorithm selects the solver
+// ("random", "gw" Goemans-Williamson, "bm" Burer-Monteiro; default "gw");
+// the remaining knobs mirror maxcut.GWConfig/BMConfig with zero-value
+// defaults. Seed pins the RNG: the same request always produces the same
+// cut, bitwise — the serving doctrine applied to the solver endpoint.
+type MaxCutRequest struct {
+	N         int          `json:"n"`
+	Edges     []MaxCutEdge `json:"edges"`
+	Algorithm string       `json:"algorithm,omitempty"`
+	Rank      int          `json:"rank,omitempty"`
+	Rounds    int          `json:"rounds,omitempty"`
+	MaxIter   int          `json:"max_iter,omitempty"`
+	LocalSwap bool         `json:"local_swap,omitempty"`
+	Seed      uint64       `json:"seed"`
+}
+
+// MaxCutResult is a served cut.
+type MaxCutResult struct {
+	Cut        float64 `json:"cut"`
+	Assignment []int   `json:"assignment"`
+	SDPBound   float64 `json:"sdp_bound,omitempty"`
+	Algorithm  string  `json:"algorithm"`
+}
+
+// buildGraph validates the request and assembles the graph.
+func buildGraph(req MaxCutRequest) (*graph.Graph, error) {
+	if req.N < 2 {
+		return nil, fmt.Errorf("%w: maxcut n=%d", ErrBadRequest, req.N)
+	}
+	if len(req.Edges) == 0 {
+		return nil, fmt.Errorf("%w: maxcut instance has no edges", ErrBadRequest)
+	}
+	g := graph.New(req.N)
+	for i, e := range req.Edges {
+		if e.U < 0 || e.U >= req.N || e.V < 0 || e.V >= req.N || e.U == e.V {
+			return nil, fmt.Errorf("%w: edge %d (%d,%d) out of range for n=%d", ErrBadRequest, i, e.U, e.V, req.N)
+		}
+		g.AddEdge(e.U, e.V, e.W)
+	}
+	return g, nil
+}
+
+// SolveMaxCut runs one Max-Cut solve through the solver pool. Concurrency
+// is bounded by ServerConfig.MaxSolves (admission control for the
+// CPU-heavy endpoint: beyond the bound the request is rejected with
+// ErrOverloaded rather than queued without bound). The result is bitwise
+// identical to a direct maxcut.Random/GoemansWilliamson/BurerMonteiro call
+// with the same configuration and rng.New(req.Seed).
+func (s *Server) SolveMaxCut(ctx context.Context, req MaxCutRequest) (MaxCutResult, error) {
+	g, err := buildGraph(req)
+	if err != nil {
+		return MaxCutResult{}, err
+	}
+	algo := req.Algorithm
+	if algo == "" {
+		algo = "gw"
+	}
+	s.mu.RLock()
+	if s.draining {
+		s.mu.RUnlock()
+		return MaxCutResult{}, ErrDraining
+	}
+	select {
+	case s.solves <- struct{}{}:
+		s.solveWG.Add(1)
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		return MaxCutResult{}, fmt.Errorf("%w: maxcut solver pool full", ErrOverloaded)
+	}
+	defer func() {
+		<-s.solves
+		s.solveWG.Done()
+	}()
+	if err := ctx.Err(); err != nil {
+		return MaxCutResult{}, err
+	}
+	r := rng.New(req.Seed)
+	var res maxcut.Result
+	switch algo {
+	case "random":
+		res = maxcut.Random(g, r)
+	case "gw":
+		res = maxcut.GoemansWilliamson(g, maxcut.GWConfig{
+			Rank: req.Rank, Rounds: req.Rounds, MaxIter: req.MaxIter, LocalSwap: req.LocalSwap,
+		}, r)
+	case "bm":
+		res = maxcut.BurerMonteiro(g, maxcut.BMConfig{
+			Rank: req.Rank, Rounds: req.Rounds, MaxIter: req.MaxIter,
+		}, r)
+	default:
+		return MaxCutResult{}, fmt.Errorf("%w: unknown algorithm %q", ErrBadRequest, algo)
+	}
+	return MaxCutResult{Cut: res.Cut, Assignment: res.Assignment, SDPBound: res.SDPBound, Algorithm: algo}, nil
+}
