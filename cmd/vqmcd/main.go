@@ -18,6 +18,8 @@
 //	                                     checkpoints carry no Hamiltonian)
 //	POST /v1/models/{name}/sample        exact ancestral samples
 //	POST /v1/models/{name}/swap          hot-swap to a new checkpoint
+//	                                     (paths resolve inside -ckpt-dir;
+//	                                     disabled unless -ckpt-dir is set)
 //	POST /v1/maxcut                      one Max-Cut solve
 //
 // Every served value is bitwise identical to the direct single-caller
@@ -73,6 +75,8 @@ func main() {
 		maxPending = flag.Int("max-pending", 0, "admission bound, rows queued+in-flight (0: default 4096)")
 		workers    = flag.Int("workers", 0, "eval workers per dispatch (0: GOMAXPROCS)")
 		maxSolves  = flag.Int("max-solves", 0, "concurrent Max-Cut solves (0: default 4)")
+		maxCutN    = flag.Int("maxcut-n", 0, "max vertices per served Max-Cut instance (0: default 4096)")
+		ckptDir    = flag.String("ckpt-dir", "", "directory hot-swap checkpoints load from (empty: swap endpoint disabled)")
 	)
 	flag.Var(&models, "model", "serve a checkpoint as name=path (repeatable)")
 	flag.Parse()
@@ -86,7 +90,11 @@ func main() {
 		MaxPending: *maxPending,
 		Workers:    *workers,
 	}
-	s := serve.NewServer(serve.ServerConfig{MaxSolves: *maxSolves})
+	s := serve.NewServer(serve.ServerConfig{
+		MaxSolves:     *maxSolves,
+		MaxCutNodes:   *maxCutN,
+		CheckpointDir: *ckptDir,
+	})
 	if *demo {
 		r := rng.New(*seed)
 		ham := hamiltonian.RandomTIM(*n, r)

@@ -141,12 +141,13 @@ func TestHTTPSwapFromCheckpoint(t *testing.T) {
 	cfgs := clientConfigs(1, 2, n)
 	wantNew := directLogPsi(next, cfgs)
 
-	path := filepath.Join(t.TempDir(), "next.ckpt")
+	dir := t.TempDir()
+	path := filepath.Join(dir, "next.ckpt")
 	if err := nn.SaveFile(path, next); err != nil {
 		t.Fatal(err)
 	}
 
-	s := NewServer(ServerConfig{})
+	s := NewServer(ServerConfig{CheckpointDir: dir})
 	if err := s.Register("m", ModelSpec{WF: live}); err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,8 @@ func TestHTTPSwapFromCheckpoint(t *testing.T) {
 	ts := httptest.NewServer(NewHandler(s))
 	defer ts.Close()
 
-	postJSON(t, ts, "/v1/models/m/swap", swapRequest{Path: path}, nil, http.StatusOK)
+	// Swap paths are relative to the configured checkpoint directory.
+	postJSON(t, ts, "/v1/models/m/swap", swapRequest{Path: "next.ckpt"}, nil, http.StatusOK)
 	var lp valuesResponse
 	postJSON(t, ts, "/v1/models/m/logpsi", configsRequest{Configs: cfgs}, &lp, http.StatusOK)
 	for k := range lp.Values {
@@ -164,8 +166,31 @@ func TestHTTPSwapFromCheckpoint(t *testing.T) {
 	}
 	// Swapping a missing file is a client error, and the live model keeps
 	// serving afterwards.
-	postJSON(t, ts, "/v1/models/m/swap", swapRequest{Path: path + ".missing"}, nil, http.StatusBadRequest)
+	postJSON(t, ts, "/v1/models/m/swap", swapRequest{Path: "missing.ckpt"}, nil, http.StatusBadRequest)
 	postJSON(t, ts, "/v1/models/m/logpsi", configsRequest{Configs: cfgs}, &lp, http.StatusOK)
+	// Paths that escape the checkpoint directory are rejected without
+	// touching the filesystem: absolute and ".."-relative alike.
+	postJSON(t, ts, "/v1/models/m/swap", swapRequest{Path: path}, nil, http.StatusBadRequest)
+	postJSON(t, ts, "/v1/models/m/swap", swapRequest{Path: "../next.ckpt"}, nil, http.StatusBadRequest)
+	postJSON(t, ts, "/v1/models/m/swap", swapRequest{Path: "/etc/passwd"}, nil, http.StatusBadRequest)
+}
+
+func TestHTTPSwapDisabledByDefault(t *testing.T) {
+	const n, h = 8, 10
+	path := filepath.Join(t.TempDir(), "next.ckpt")
+	if err := nn.SaveFile(path, buildWF("made", n, h, 92)); err != nil {
+		t.Fatal(err)
+	}
+	// No CheckpointDir: the swap endpoint must not reach the filesystem at
+	// all, even for a path that exists and parses.
+	s := NewServer(ServerConfig{})
+	if err := s.Register("m", ModelSpec{WF: buildWF("made", n, h, 91)}); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+	postJSON(t, ts, "/v1/models/m/swap", swapRequest{Path: path}, nil, http.StatusBadRequest)
 }
 
 func TestHTTPErrorMapping(t *testing.T) {
@@ -250,4 +275,58 @@ func TestHTTPMaxCutMatchesDirect(t *testing.T) {
 	postJSON(t, ts, "/v1/maxcut", MaxCutRequest{N: 1, Edges: edges, Seed: 1}, nil, http.StatusBadRequest)
 	postJSON(t, ts, "/v1/maxcut", MaxCutRequest{N: 4, Edges: []MaxCutEdge{{U: 0, V: 9, W: 1}}, Seed: 1}, nil, http.StatusBadRequest)
 	postJSON(t, ts, "/v1/maxcut", MaxCutRequest{N: nVerts, Edges: edges, Algorithm: "nope", Seed: 1}, nil, http.StatusBadRequest)
+}
+
+// TestHTTPResourceBounds pins the admission-before-allocation hardening:
+// a single small request must never cost a request-proportional
+// allocation the server would reject anyway. Each case here would
+// allocate gigabytes (or read an unbounded body) if validation ran after
+// the allocation instead of before.
+func TestHTTPResourceBounds(t *testing.T) {
+	const n, h = 8, 10
+	ham := hamiltonian.RandomTIM(n, rng.New(11))
+	s := NewServer(ServerConfig{MaxCutNodes: 64})
+	if err := s.Register("m", ModelSpec{WF: buildWF("made", n, h, 13), Ham: ham}); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	// A huge vertex count is rejected before graph.New can be asked for
+	// its n^2 adjacency (n=1e6 alone would be an ~8TB allocation).
+	postJSON(t, ts, "/v1/maxcut",
+		MaxCutRequest{N: 1_000_000, Edges: []MaxCutEdge{{U: 0, V: 1, W: 1}}, Seed: 1},
+		nil, http.StatusBadRequest)
+	// A vertex count just over the configured cap is rejected; at the cap
+	// it solves.
+	postJSON(t, ts, "/v1/maxcut",
+		MaxCutRequest{N: 65, Edges: []MaxCutEdge{{U: 0, V: 1, W: 1}}, Seed: 1},
+		nil, http.StatusBadRequest)
+	postJSON(t, ts, "/v1/maxcut",
+		MaxCutRequest{N: 64, Edges: []MaxCutEdge{{U: 0, V: 1, W: 1}}, Algorithm: "random", Seed: 1},
+		nil, http.StatusOK)
+
+	// A huge sample count is shed with 429 before the count*sites buffers
+	// and uniform draws (1e9 rows would be tens of GB).
+	postJSON(t, ts, "/v1/models/m/sample", sampleRequest{Count: 1_000_000_000, Seed: 1}, nil, http.StatusTooManyRequests)
+	var st Stats
+	var err error
+	if st, err = s.ModelStats("m"); err != nil {
+		t.Fatal(err)
+	}
+	if st.Rejected == 0 {
+		t.Fatal("oversize sample count not counted as an admission rejection")
+	}
+
+	// A body over the size cap is refused with 413 instead of buffered.
+	huge := append([]byte(`{"configs": [[`), bytes.Repeat([]byte("0,"), maxBodyBytes/2)...)
+	resp, err := http.Post(ts.URL+"/v1/models/m/logpsi", "application/json", bytes.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize body: status %d, want 413", resp.StatusCode)
+	}
 }

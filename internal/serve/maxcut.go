@@ -40,38 +40,60 @@ type MaxCutResult struct {
 	Algorithm  string  `json:"algorithm"`
 }
 
-// buildGraph validates the request and assembles the graph.
-func buildGraph(req MaxCutRequest) (*graph.Graph, error) {
+// validateMaxCut checks the request shape without allocating anything
+// request-sized: vertex bounds (including the server's MaxCutNodes cap —
+// the solvers hold O(n^2) state, so n must be vetted before graph.New can
+// be asked for it), edge endpoints, and the algorithm name. It returns
+// the resolved algorithm.
+func validateMaxCut(req MaxCutRequest, maxNodes int) (string, error) {
 	if req.N < 2 {
-		return nil, fmt.Errorf("%w: maxcut n=%d", ErrBadRequest, req.N)
+		return "", fmt.Errorf("%w: maxcut n=%d", ErrBadRequest, req.N)
+	}
+	if req.N > maxNodes {
+		return "", fmt.Errorf("%w: maxcut n=%d exceeds server cap %d", ErrBadRequest, req.N, maxNodes)
 	}
 	if len(req.Edges) == 0 {
-		return nil, fmt.Errorf("%w: maxcut instance has no edges", ErrBadRequest)
+		return "", fmt.Errorf("%w: maxcut instance has no edges", ErrBadRequest)
 	}
-	g := graph.New(req.N)
 	for i, e := range req.Edges {
 		if e.U < 0 || e.U >= req.N || e.V < 0 || e.V >= req.N || e.U == e.V {
-			return nil, fmt.Errorf("%w: edge %d (%d,%d) out of range for n=%d", ErrBadRequest, i, e.U, e.V, req.N)
+			return "", fmt.Errorf("%w: edge %d (%d,%d) out of range for n=%d", ErrBadRequest, i, e.U, e.V, req.N)
 		}
+	}
+	algo := req.Algorithm
+	if algo == "" {
+		algo = "gw"
+	}
+	switch algo {
+	case "random", "gw", "bm":
+	default:
+		return "", fmt.Errorf("%w: unknown algorithm %q", ErrBadRequest, algo)
+	}
+	return algo, nil
+}
+
+// buildGraph assembles a validated request's graph.
+func buildGraph(req MaxCutRequest) *graph.Graph {
+	g := graph.New(req.N)
+	for _, e := range req.Edges {
 		g.AddEdge(e.U, e.V, e.W)
 	}
-	return g, nil
+	return g
 }
 
 // SolveMaxCut runs one Max-Cut solve through the solver pool. Concurrency
 // is bounded by ServerConfig.MaxSolves (admission control for the
 // CPU-heavy endpoint: beyond the bound the request is rejected with
-// ErrOverloaded rather than queued without bound). The result is bitwise
-// identical to a direct maxcut.Random/GoemansWilliamson/BurerMonteiro call
-// with the same configuration and rng.New(req.Seed).
+// ErrOverloaded rather than queued without bound), and admission happens
+// before the graph's O(n^2) adjacency is built, so even the largest
+// admissible instance only allocates inside a pool slot. The result is
+// bitwise identical to a direct
+// maxcut.Random/GoemansWilliamson/BurerMonteiro call with the same
+// configuration and rng.New(req.Seed).
 func (s *Server) SolveMaxCut(ctx context.Context, req MaxCutRequest) (MaxCutResult, error) {
-	g, err := buildGraph(req)
+	algo, err := validateMaxCut(req, s.cfg.MaxCutNodes)
 	if err != nil {
 		return MaxCutResult{}, err
-	}
-	algo := req.Algorithm
-	if algo == "" {
-		algo = "gw"
 	}
 	s.mu.RLock()
 	if s.draining {
@@ -93,6 +115,7 @@ func (s *Server) SolveMaxCut(ctx context.Context, req MaxCutRequest) (MaxCutResu
 	if err := ctx.Err(); err != nil {
 		return MaxCutResult{}, err
 	}
+	g := buildGraph(req)
 	r := rng.New(req.Seed)
 	var res maxcut.Result
 	switch algo {
@@ -106,8 +129,6 @@ func (s *Server) SolveMaxCut(ctx context.Context, req MaxCutRequest) (MaxCutResu
 		res = maxcut.BurerMonteiro(g, maxcut.BMConfig{
 			Rank: req.Rank, Rounds: req.Rounds, MaxIter: req.MaxIter,
 		}, r)
-	default:
-		return MaxCutResult{}, fmt.Errorf("%w: unknown algorithm %q", ErrBadRequest, algo)
 	}
 	return MaxCutResult{Cut: res.Cut, Assignment: res.Assignment, SDPBound: res.SDPBound, Algorithm: algo}, nil
 }

@@ -28,6 +28,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -151,12 +152,26 @@ type ServerConfig struct {
 	// MaxSolves bounds concurrent Max-Cut solves (default 4); beyond it
 	// SolveMaxCut rejects with ErrOverloaded.
 	MaxSolves int
+	// MaxCutNodes caps the vertex count of a served Max-Cut instance
+	// (default 4096). The solvers allocate O(n^2) state, so n is vetted
+	// against this cap before anything request-sized is allocated — a
+	// request the admission control would reject can never cost an
+	// allocation first.
+	MaxCutNodes int
+	// CheckpointDir, when non-empty, is the directory SwapFile resolves
+	// checkpoint paths inside; paths must be local (no absolute paths, no
+	// ".." escapes). When empty, file-based swaps are disabled with
+	// ErrUnsupported — the HTTP swap endpoint must be opted into by the
+	// operator, it never exposes the server filesystem by default. The
+	// in-process Swap API is unaffected.
+	CheckpointDir string
 }
 
 // Server is the long-running inference service: a named-model registry
 // with per-model coalescing dispatchers plus the Max-Cut solver pool.
 // All methods are safe for concurrent use.
 type Server struct {
+	cfg      ServerConfig
 	mu       sync.RWMutex
 	models   map[string]*modelService
 	draining bool
@@ -169,7 +184,11 @@ func NewServer(cfg ServerConfig) *Server {
 	if cfg.MaxSolves <= 0 {
 		cfg.MaxSolves = 4
 	}
+	if cfg.MaxCutNodes <= 0 {
+		cfg.MaxCutNodes = 4096
+	}
 	return &Server{
+		cfg:    cfg,
 		models: make(map[string]*modelService),
 		solves: make(chan struct{}, cfg.MaxSolves),
 	}
@@ -351,6 +370,14 @@ func (s *Server) Sample(ctx context.Context, model string, count int, seed uint6
 	if count < 1 {
 		return nil, fmt.Errorf("%w: sample count %d", ErrBadRequest, count)
 	}
+	if count > m.cfg.MaxPending {
+		// submit would reject this row count anyway; rejecting here keeps
+		// the admission bound ahead of the count*sites buffers and uniform
+		// draws below, so an absurd count costs nothing before it is shed
+		// (and count*m.sites can never overflow).
+		m.rejected.Add(1)
+		return nil, fmt.Errorf("%w: sample count %d exceeds admission bound %d", ErrOverloaded, count, m.cfg.MaxPending)
+	}
 	u := make([]float64, count*m.sites)
 	stream := rng.New(seed).SplitN(1)[0]
 	for i := range u {
@@ -384,10 +411,19 @@ func (s *Server) Swap(ctx context.Context, model string, wf nn.Wavefunction) err
 	return m.submit(ctx, r)
 }
 
-// SwapFile loads a checkpoint from path and hot-swaps the live model onto
-// it — the serving form of "deploy the new checkpoint".
+// SwapFile loads a checkpoint and hot-swaps the live model onto it — the
+// serving form of "deploy the new checkpoint". path is resolved inside
+// ServerConfig.CheckpointDir and must be local to it (relative, no ".."),
+// so a network client can only reach checkpoints the operator staged
+// there; with no CheckpointDir configured, file-based swaps are disabled.
 func (s *Server) SwapFile(ctx context.Context, model, path string) error {
-	wf, err := nn.LoadFile(path)
+	if s.cfg.CheckpointDir == "" {
+		return fmt.Errorf("%w: file-based swap disabled (no checkpoint directory configured)", ErrUnsupported)
+	}
+	if !filepath.IsLocal(path) {
+		return fmt.Errorf("%w: checkpoint path %q must be relative, inside the checkpoint directory", ErrBadRequest, path)
+	}
+	wf, err := nn.LoadFile(filepath.Join(s.cfg.CheckpointDir, path))
 	if err != nil {
 		// An unreadable or corrupt checkpoint is the caller's problem: the
 		// live model is untouched, so surface it as a request error.
